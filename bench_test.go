@@ -1,0 +1,215 @@
+// Benchmarks, one per table and figure of the paper: each regenerates
+// the experiment's data series on the simulated testbed (in quick mode,
+// so `go test -bench=. -benchmem` stays tractable; `cmd/imcbench` runs
+// the full sweeps). The measured time is the wall-clock cost of
+// simulating the experiment, not the virtual times it reports.
+package imcstudy_test
+
+import (
+	"testing"
+
+	"github.com/imcstudy/imcstudy"
+)
+
+// quick trims the sweeps to representative points with 2 coupling steps.
+var quick = imcstudy.ExperimentOptions{Quick: true, Steps: 2}
+
+func BenchmarkTable1Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Table1(quick); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2Workflows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Table2(quick); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3UsabilityLoC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Table3(quick); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable4FailureInjection(b *testing.B) {
+	o := imcstudy.ExperimentOptions{Quick: true, Steps: 1}
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Table4(o); len(t.Rows) != 5 {
+			b.Fatal("want the five Table IV failure classes")
+		}
+	}
+}
+
+func BenchmarkTable5Findings(b *testing.B) {
+	o := imcstudy.ExperimentOptions{Steps: 1}
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Table5(o); len(t.Rows) != 8 {
+			b.Fatal("want eight findings")
+		}
+	}
+}
+
+func BenchmarkFig2aLAMMPSEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tables := imcstudy.Fig2a(quick); len(tables) != 2 {
+			b.Fatal("want Titan and Cori panels")
+		}
+	}
+}
+
+func BenchmarkFig2bLaplaceEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tables := imcstudy.Fig2b(quick); len(tables) != 2 {
+			b.Fatal("want Titan and Cori panels")
+		}
+	}
+}
+
+func BenchmarkFig3ProblemSizeScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Fig3(quick); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig4RDMAProbe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Fig4(quick); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig5MemoryProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tables := imcstudy.Fig5(quick); len(tables) != 3 {
+			b.Fatal("want both workload panels plus the time series")
+		}
+	}
+}
+
+func BenchmarkFig6SFCIndexMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Fig6(quick); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig7MemoryBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Fig7(quick); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig8LayoutIllustration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Fig8(quick); len(t.Rows) != 8 {
+			b.Fatal("want 4 writers x 2 layouts")
+		}
+	}
+}
+
+func BenchmarkFig9LayoutImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Fig9(quick); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig10SocketVsRDMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tables := imcstudy.Fig10(quick); len(tables) != 2 {
+			b.Fatal("want both workload panels")
+		}
+	}
+}
+
+func BenchmarkFig11DecafServerSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Fig11(quick); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig12DataSpacesServerSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Fig12(quick); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig13SharedMemoryMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tables := imcstudy.Fig13(quick); len(tables) != 2 {
+			b.Fatal("want both workload panels")
+		}
+	}
+}
+
+// BenchmarkSingleRun measures the cost of simulating one mid-scale
+// coupled workflow (the unit of work behind every figure).
+func BenchmarkSingleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := imcstudy.Run(imcstudy.RunConfig{
+			Machine:  imcstudy.Titan(),
+			Method:   imcstudy.MethodDataSpacesNative,
+			Workload: imcstudy.WorkloadLAMMPS,
+			SimProcs: 128,
+			AnaProcs: 64,
+			Steps:    2,
+		})
+		if err != nil || res.Failed {
+			b.Fatalf("run failed: %v %v", err, res.FailErr)
+		}
+	}
+}
+
+func BenchmarkMitigations(b *testing.B) {
+	o := imcstudy.ExperimentOptions{Quick: true, Steps: 1}
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Mitigations(o); len(t.Rows) != 3 {
+			b.Fatal("want three mitigation rows")
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	o := imcstudy.ExperimentOptions{Quick: true, Steps: 1}
+	for i := 0; i < b.N; i++ {
+		if tables := imcstudy.Ablations(o); len(tables) != 4 {
+			b.Fatal("want four ablations")
+		}
+	}
+}
+
+func BenchmarkGPUStudy(b *testing.B) {
+	o := imcstudy.ExperimentOptions{Quick: true, Steps: 1}
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.GPUStudy(o); len(t.Rows) != 2 {
+			b.Fatal("want two GPU rows")
+		}
+	}
+}
+
+func BenchmarkResilience(b *testing.B) {
+	o := imcstudy.ExperimentOptions{Quick: true, Steps: 1}
+	for i := 0; i < b.N; i++ {
+		if t := imcstudy.Resilience(o); len(t.Rows) != 5 {
+			b.Fatal("want five methods")
+		}
+	}
+}

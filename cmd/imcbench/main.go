@@ -1,0 +1,116 @@
+// Command imcbench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	imcbench [-quick] [-steps N] [-chart] <experiment> [<experiment>...]
+//	imcbench all
+//
+// Experiments: table1 table2 table3 table4 table5 fig2a fig2b fig3 fig4
+// fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 findings mitigations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/imcstudy/imcstudy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "imcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("imcbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "trim sweeps to a few representative points")
+	steps := fs.Int("steps", 3, "coupling steps per run")
+	chart := fs.Bool("chart", false, "also render each table's final column as ASCII bars")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := imcstudy.ExperimentOptions{Quick: *quick, Steps: *steps}
+	reg := registry(o)
+
+	names := fs.Args()
+	if len(names) == 0 {
+		return fmt.Errorf("no experiment given; known: %v (or 'all')", known(reg))
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = known(reg)
+	}
+	for _, name := range names {
+		gen, ok := reg[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; known: %v", name, known(reg))
+		}
+		start := time.Now()
+		tables := gen()
+		if err := imcstudy.RenderTables(os.Stdout, tables); err != nil {
+			return err
+		}
+		if *chart {
+			if err := imcstudy.RenderCharts(os.Stdout, tables); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("-- %s generated in %.1fs --\n\n", name, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// registry maps experiment names to generators.
+func registry(o imcstudy.ExperimentOptions) map[string]func() []*imcstudy.ResultTable {
+	one := func(f func(imcstudy.ExperimentOptions) *imcstudy.ResultTable) func() []*imcstudy.ResultTable {
+		return func() []*imcstudy.ResultTable { return []*imcstudy.ResultTable{f(o)} }
+	}
+	many := func(f func(imcstudy.ExperimentOptions) []*imcstudy.ResultTable) func() []*imcstudy.ResultTable {
+		return func() []*imcstudy.ResultTable { return f(o) }
+	}
+	return map[string]func() []*imcstudy.ResultTable{
+		"table1":      one(imcstudy.Table1),
+		"table2":      one(imcstudy.Table2),
+		"table3":      one(imcstudy.Table3),
+		"table4":      one(imcstudy.Table4),
+		"table5":      one(imcstudy.Table5),
+		"fig2a":       many(imcstudy.Fig2a),
+		"fig2b":       many(imcstudy.Fig2b),
+		"fig3":        one(imcstudy.Fig3),
+		"fig4":        one(imcstudy.Fig4),
+		"fig5":        many(imcstudy.Fig5),
+		"fig6":        one(imcstudy.Fig6),
+		"fig7":        one(imcstudy.Fig7),
+		"fig8":        one(imcstudy.Fig8),
+		"fig9":        one(imcstudy.Fig9),
+		"fig10":       many(imcstudy.Fig10),
+		"fig11":       one(imcstudy.Fig11),
+		"fig12":       one(imcstudy.Fig12),
+		"fig13":       many(imcstudy.Fig13),
+		"findings":    findingsTables(o),
+		"mitigations": one(imcstudy.Mitigations),
+		"ablations":   many(imcstudy.Ablations),
+		"gpustudy":    one(imcstudy.GPUStudy),
+		"resilience":  one(imcstudy.Resilience),
+	}
+}
+
+func findingsTables(o imcstudy.ExperimentOptions) func() []*imcstudy.ResultTable {
+	return func() []*imcstudy.ResultTable {
+		return []*imcstudy.ResultTable{imcstudy.Table5(o)}
+	}
+}
+
+func known(reg map[string]func() []*imcstudy.ResultTable) []string {
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

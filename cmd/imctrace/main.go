@@ -1,0 +1,111 @@
+// Command imctrace runs one coupled workflow with activity tracing and
+// writes a Chrome trace-event file (viewable in chrome://tracing or
+// Perfetto) showing every rank's compute, put, get and analyze spans on
+// the virtual timeline.
+//
+// Usage:
+//
+//	imctrace [-machine titan|cori] [-method <name>] [-workload lammps|laplace|synthetic]
+//	         [-sim N] [-ana N] [-steps N] [-o trace.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/imcstudy/imcstudy"
+	"github.com/imcstudy/imcstudy/internal/workflow"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "imctrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("imctrace", flag.ContinueOnError)
+	machine := fs.String("machine", "titan", "machine model: titan or cori")
+	method := fs.String("method", "DataSpaces/native", "coupling method (as in Figure 2's legend)")
+	workloadName := fs.String("workload", "lammps", "workload: lammps, laplace or synthetic")
+	simProcs := fs.Int("sim", 32, "simulation processors")
+	anaProcs := fs.Int("ana", 16, "analytics processors")
+	steps := fs.Int("steps", 3, "coupling steps")
+	out := fs.String("o", "trace.json", "output trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := imcstudy.RunConfig{
+		SimProcs: *simProcs,
+		AnaProcs: *anaProcs,
+		Steps:    *steps,
+		Trace:    true,
+	}
+	switch strings.ToLower(*machine) {
+	case "titan":
+		cfg.Machine = imcstudy.Titan()
+	case "cori":
+		cfg.Machine = imcstudy.Cori()
+	default:
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+	var ok bool
+	cfg.Method, ok = methodByName(*method)
+	if !ok {
+		return fmt.Errorf("unknown method %q; known: %s", *method, methodNames())
+	}
+	switch strings.ToLower(*workloadName) {
+	case "lammps":
+		cfg.Workload = imcstudy.WorkloadLAMMPS
+	case "laplace":
+		cfg.Workload = imcstudy.WorkloadLaplace
+	case "synthetic":
+		cfg.Workload = imcstudy.WorkloadSynthetic
+	default:
+		return fmt.Errorf("unknown workload %q", *workloadName)
+	}
+
+	res, err := imcstudy.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if res.Failed {
+		return fmt.Errorf("workflow failed: %w", res.FailErr)
+	}
+	buf, err := res.Trace.ChromeTraceJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("end-to-end %.3f s (virtual): compute %.3f s, put %.3f s, get %.3f s, analyze %.3f s\n",
+		res.EndToEnd,
+		res.Trace.TotalBy("compute"),
+		res.Trace.TotalBy("put"),
+		res.Trace.TotalBy("get"),
+		res.Trace.TotalBy("analyze"))
+	fmt.Printf("wrote %d spans to %s\n", len(res.Trace.Spans()), *out)
+	return nil
+}
+
+func methodByName(name string) (imcstudy.Method, bool) {
+	for _, m := range workflow.Methods() {
+		if strings.EqualFold(m.String(), name) {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+func methodNames() string {
+	var names []string
+	for _, m := range workflow.Methods() {
+		names = append(names, m.String())
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,96 @@
+// Command locreport counts the integration lines of code of the example
+// programs in examples/, the testbed's analogue of the paper's Table III
+// usability measurement: how much code a user writes to couple an
+// application through each path.
+//
+// Usage:
+//
+//	locreport [-dir examples]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "locreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("locreport", flag.ContinueOnError)
+	dir := fs.String("dir", "examples", "directory of example programs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %8s %8s %8s\n", "example", "code", "comment", "blank")
+	total := 0
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		code, comment, blank, err := countDir(filepath.Join(*dir, name))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %8d %8d %8d\n", name, code, comment, blank)
+		total += code
+	}
+	fmt.Printf("%-20s %8d\n", "total", total)
+	return nil
+}
+
+// countDir tallies Go lines under dir.
+func countDir(dir string) (code, comment, blank int, err error) {
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		inBlock := false
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			switch {
+			case line == "":
+				blank++
+			case inBlock:
+				comment++
+				if strings.Contains(line, "*/") {
+					inBlock = false
+				}
+			case strings.HasPrefix(line, "//"):
+				comment++
+			case strings.HasPrefix(line, "/*"):
+				comment++
+				if !strings.Contains(line, "*/") {
+					inBlock = true
+				}
+			default:
+				code++
+			}
+		}
+		return sc.Err()
+	})
+	return code, comment, blank, err
+}

@@ -1,0 +1,94 @@
+// Command rdmaprobe reproduces the paper's Figure 4 probe: it
+// synchronously acquires RDMA memory regions of a given request size
+// until acquisition fails, reporting the maximum concurrency and the
+// binding limit for each size — handler count below 512 KB, registered
+// memory capacity above.
+//
+// Usage:
+//
+//	rdmaprobe [-machine titan|cori]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/rdma"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rdmaprobe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rdmaprobe", flag.ContinueOnError)
+	machine := fs.String("machine", "titan", "machine model: titan or cori")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var spec hpc.Spec
+	switch strings.ToLower(*machine) {
+	case "titan":
+		spec = hpc.Titan()
+	case "cori":
+		spec = hpc.Cori()
+	default:
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+
+	fmt.Printf("RDMA acquire/release probe on %s (capacity %d MB, %d handlers)\n\n",
+		spec.Name, spec.RDMAMemBytes>>20, spec.RDMAMaxHandles)
+	fmt.Printf("%12s  %16s  %s\n", "request", "max concurrent", "limited by")
+	sizes := []int64{
+		4 << 10, 16 << 10, 64 << 10, 256 << 10, 512 << 10,
+		1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20,
+	}
+	for _, size := range sizes {
+		count, limit := probe(spec, size)
+		fmt.Printf("%12s  %16d  %s\n", human(size), count, limit)
+	}
+	return nil
+}
+
+// probe registers regions of the given size until failure.
+func probe(spec hpc.Spec, size int64) (int, string) {
+	e := sim.NewEngine()
+	dom := rdma.NewDomain(e, "probe", spec.RDMAMemBytes, spec.RDMAMaxHandles)
+	var regs []*rdma.Region
+	count := 0
+	limit := "none"
+	for {
+		r, err := dom.Register(size)
+		if err != nil {
+			if errors.Is(err, rdma.ErrOutOfHandles) {
+				limit = "memory handlers"
+			} else {
+				limit = "registered-memory capacity"
+			}
+			break
+		}
+		regs = append(regs, r)
+		count++
+	}
+	for _, r := range regs {
+		r.Deregister()
+	}
+	return count, limit
+}
+
+func human(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%d MB", b>>20)
+	default:
+		return fmt.Sprintf("%d KB", b>>10)
+	}
+}

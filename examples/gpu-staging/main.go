@@ -1,0 +1,59 @@
+// gpu-staging demonstrates the repository's extension of the paper's
+// Section IV-B observation: none of the studied libraries can stage from
+// GPU memory, so a GPU-resident workflow pays PCIe copies around every
+// put and get. The example measures that tax on a GPU-resident Laplace
+// run and shows what an NVLink-class direct staging path would recover.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/imcstudy/imcstudy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gpu-staging:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("GPU-resident Laplace (64,32) through Flexpath on the Titan model")
+	fmt.Printf("  %-18s %10s  %s\n", "scenario", "e2e s", "note")
+	var baseline float64
+	for _, sc := range []struct {
+		mode imcstudy.GPUMode
+		note string
+	}{
+		{imcstudy.GPUOff, "host-resident data (the paper's runs)"},
+		{imcstudy.GPUHostStaged, "D2H before put, H2D after get (today's libraries)"},
+		{imcstudy.GPUDirect, "NVLink-class direct staging (future work)"},
+	} {
+		res, err := imcstudy.Run(imcstudy.RunConfig{
+			Machine:  imcstudy.Titan(),
+			Method:   imcstudy.MethodFlexpath,
+			Workload: imcstudy.WorkloadLaplace,
+			SimProcs: 64,
+			AnaProcs: 32,
+			Steps:    3,
+			GPU:      sc.mode,
+		})
+		if err != nil {
+			return err
+		}
+		if res.Failed {
+			return fmt.Errorf("%v: %w", sc.mode, res.FailErr)
+		}
+		if sc.mode == imcstudy.GPUOff {
+			baseline = res.EndToEnd
+		}
+		tax := ""
+		if baseline > 0 && sc.mode != imcstudy.GPUOff {
+			tax = fmt.Sprintf(" (%+.1f%% vs cpu)", 100*(res.EndToEnd/baseline-1))
+		}
+		fmt.Printf("  %-18v %10.2f  %s%s\n", sc.mode, res.EndToEnd, sc.note, tax)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/imcstudy/imcstudy
+
+go 1.22

@@ -1,0 +1,116 @@
+package imcstudy_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/imcstudy/imcstudy"
+)
+
+func TestPublicRunDenseVerifies(t *testing.T) {
+	res, err := imcstudy.Run(imcstudy.RunConfig{
+		Machine:     imcstudy.Titan(),
+		Method:      imcstudy.MethodFlexpath,
+		Workload:    imcstudy.WorkloadLAMMPS,
+		SimProcs:    4,
+		AnaProcs:    2,
+		Steps:       2,
+		Dense:       true,
+		LAMMPSAtoms: 27,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || !res.Verified {
+		t.Fatalf("failed=%v verified=%v err=%v", res.Failed, res.Verified, res.FailErr)
+	}
+}
+
+func TestPublicMachinePresets(t *testing.T) {
+	titan, cori := imcstudy.Titan(), imcstudy.Cori()
+	if titan.Name != "Titan" || cori.Name != "Cori" {
+		t.Fatalf("presets: %q %q", titan.Name, cori.Name)
+	}
+	if cori.NICBytesPerSec <= titan.NICBytesPerSec {
+		t.Fatal("Aries must out-inject Gemini")
+	}
+	if len(imcstudy.Methods()) != 9 {
+		t.Fatalf("methods = %d, want 9", len(imcstudy.Methods()))
+	}
+}
+
+func TestPublicRenderTables(t *testing.T) {
+	var buf bytes.Buffer
+	tables := []*imcstudy.ResultTable{
+		imcstudy.Table2(imcstudy.ExperimentOptions{}),
+		imcstudy.Fig8(imcstudy.ExperimentOptions{}),
+	}
+	if err := imcstudy.RenderTables(&buf, tables); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"LAMMPS", "MTA", "srv1 -> srv2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in rendered output:\n%s", want, out)
+		}
+	}
+}
+
+func TestPublicDeterminism(t *testing.T) {
+	run := func() float64 {
+		res, err := imcstudy.Run(imcstudy.RunConfig{
+			Machine:  imcstudy.Cori(),
+			Method:   imcstudy.MethodDecaf,
+			Workload: imcstudy.WorkloadLaplace,
+			SimProcs: 16,
+			AnaProcs: 8,
+			Steps:    3,
+		})
+		if err != nil || res.Failed {
+			t.Fatalf("run: %v %v", err, res.FailErr)
+		}
+		return res.EndToEnd
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: %v != %v (simulations must be deterministic)", i, got, first)
+		}
+	}
+}
+
+func TestPublicChartsAndTransportAliases(t *testing.T) {
+	var buf bytes.Buffer
+	table := imcstudy.Fig4(imcstudy.ExperimentOptions{Quick: true})
+	if err := imcstudy.RenderCharts(&buf, []*imcstudy.ResultTable{table}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#") {
+		t.Fatalf("no bars rendered:\n%s", buf.String())
+	}
+	if imcstudy.TransportRDMA == imcstudy.TransportSocket {
+		t.Fatal("transport aliases collide")
+	}
+	if imcstudy.GPUOff == imcstudy.GPUDirect {
+		t.Fatal("GPU mode aliases collide")
+	}
+}
+
+func TestPublicMitigationToggles(t *testing.T) {
+	// The mitigation fields are reachable through the public RunConfig.
+	res, err := imcstudy.Run(imcstudy.RunConfig{
+		Machine:        imcstudy.Cori(),
+		Method:         imcstudy.MethodDataSpacesNative,
+		Workload:       imcstudy.WorkloadLAMMPS,
+		SimProcs:       16,
+		AnaProcs:       8,
+		Steps:          1,
+		DRCShards:      2,
+		RDMAWaitRetry:  true,
+		SocketPoolSize: 8,
+	})
+	if err != nil || res.Failed {
+		t.Fatalf("run: %v %v", err, res.FailErr)
+	}
+}

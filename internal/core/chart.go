@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// chartWidth is the maximum bar length in characters.
+const chartWidth = 44
+
+// Chart renders the numeric cells of one column as horizontal bars, one
+// per row — an ASCII rendition of the paper's bar figures. Non-numeric
+// cells (failures) render as their text.
+func (t *Table) Chart(w io.Writer, col int) error {
+	if col <= 0 || (len(t.Header) > 0 && col >= len(t.Header)) {
+		return fmt.Errorf("core: chart column %d out of range", col)
+	}
+	title := t.Title
+	if len(t.Header) > col {
+		title = fmt.Sprintf("%s — %s", t.ID, t.Header[col])
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, row := range t.Rows {
+		if len(row) <= col {
+			continue
+		}
+		if v, err := strconv.ParseFloat(row[col], 64); err == nil && v > maxVal {
+			maxVal = v
+		}
+		if len(row[0]) > labelW {
+			labelW = len(row[0])
+		}
+	}
+	for _, row := range t.Rows {
+		if len(row) <= col {
+			continue
+		}
+		label := row[0] + strings.Repeat(" ", labelW-len(row[0]))
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			if _, err := fmt.Fprintf(w, "  %s | %s\n", label, row[col]); err != nil {
+				return err
+			}
+			continue
+		}
+		bar := 0
+		if maxVal > 0 {
+			bar = int(v / maxVal * chartWidth)
+		}
+		if bar == 0 && v > 0 {
+			bar = 1
+		}
+		if _, err := fmt.Fprintf(w, "  %s | %s %s\n", label, strings.Repeat("#", bar), row[col]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// ChartAll renders each table's last numeric column as bars (the largest
+// scale / final sweep point), skipping tables without one.
+func ChartAll(w io.Writer, tables []*Table) error {
+	for _, t := range tables {
+		col := lastNumericColumn(t)
+		if col <= 0 {
+			continue
+		}
+		if err := t.Chart(w, col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lastNumericColumn finds the highest column index with at least one
+// numeric cell.
+func lastNumericColumn(t *Table) int {
+	best := -1
+	for _, row := range t.Rows {
+		for col := 1; col < len(row); col++ {
+			if _, err := strconv.ParseFloat(row[col], 64); err == nil && col > best {
+				best = col
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/workflow"
+)
+
+var quick = Options{Quick: true, Steps: 2}
+
+func renderOK(t *testing.T, tables ...*Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := RenderAll(&buf, tables); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestFig2aQuickShape(t *testing.T) {
+	table := Fig2(workflow.WorkloadLAMMPS, hpc.Titan(), quick)
+	out := renderOK(t, table)
+	if !strings.Contains(out, "simulation-only") || !strings.Contains(out, "MPI-IO") {
+		t.Fatalf("missing series:\n%s", out)
+	}
+	// Every cell parses as a time or a structured failure.
+	for _, row := range table.Rows {
+		for _, cell := range row[1:] {
+			if cell == "ERR" {
+				t.Fatalf("setup error in row %v", row)
+			}
+		}
+	}
+}
+
+func TestFig2bLaplaceCoriSlowerThanTitan(t *testing.T) {
+	titan := Fig2(workflow.WorkloadLaplace, hpc.Titan(), quick)
+	cori := Fig2(workflow.WorkloadLaplace, hpc.Cori(), quick)
+	// Compare the simulation-only rows: Cori's KNL cores run at 63.6% of
+	// Titan's frequency, so the compute-bound Laplace is slower.
+	tt := parseCell(t, titan.Rows[0][1])
+	tc := parseCell(t, cori.Rows[0][1])
+	if tc <= tt {
+		t.Fatalf("Cori sim-only %.2f <= Titan %.2f", tc, tt)
+	}
+	if !almostEq(tc/tt, 1/hpc.CoriCPUSpeed, 0.05) {
+		t.Fatalf("Cori/Titan ratio = %.3f, want ~%.3f", tc/tt, 1/hpc.CoriCPUSpeed)
+	}
+}
+
+func parseCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := sscanf(cell, &v); err != nil {
+		t.Fatalf("cell %q is not a time", cell)
+	}
+	return v
+}
+
+func sscanf(cell string, v *float64) (int, error) {
+	var parsed float64
+	var err error
+	n := 0
+	parsed, err = parseFloat(cell)
+	if err == nil {
+		*v = parsed
+		n = 1
+	}
+	return n, err
+}
+
+func parseFloat(s string) (float64, error) {
+	var v float64
+	var frac, div float64 = 0, 1
+	seenDot := false
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9':
+			if seenDot {
+				div *= 10
+				frac = frac*10 + float64(c-'0')
+			} else {
+				v = v*10 + float64(c-'0')
+			}
+		case c == '.':
+			seenDot = true
+		default:
+			return 0, errParse
+		}
+	}
+	return v + frac/div, nil
+}
+
+var errParse = errStr("parse")
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }
+
+func TestFig3QuickHasRDMAFailureAt128MB(t *testing.T) {
+	full := Options{Steps: 1} // need the 128 MB point, so no Quick trim
+	table := Fig3(full)
+	out := renderOK(t, table)
+	if !strings.Contains(out, "FAIL(out-of-RDMA-memory)") {
+		t.Fatalf("expected an out-of-RDMA failure at 128 MB:\n%s", out)
+	}
+	// The 2x-servers row must NOT fail at the last size.
+	for _, row := range table.Rows {
+		if row[0] == "DataSpaces 2x servers" {
+			last := row[len(row)-1]
+			if strings.HasPrefix(last, "FAIL") {
+				t.Fatalf("2x servers still fails: %v", row)
+			}
+		}
+	}
+}
+
+func TestFig4Boundaries(t *testing.T) {
+	table := Fig4(Options{})
+	for _, row := range table.Rows {
+		switch row[0] {
+		case "4 KB", "64 KB", "256 KB":
+			if row[1] != "3675" || row[2] != "out-of-RDMA-handlers" {
+				t.Fatalf("small request row wrong: %v", row)
+			}
+		case "1 MB":
+			if row[1] != "1843" || row[2] != "out-of-RDMA-memory" {
+				t.Fatalf("1 MB row wrong: %v", row)
+			}
+		case "64 MB":
+			if row[1] != "28" {
+				t.Fatalf("64 MB row wrong: %v", row)
+			}
+		}
+	}
+}
+
+func TestFig5MemoryShape(t *testing.T) {
+	tables := Fig5(quick)
+	if len(tables) != 3 { // two peak panels + the memory-vs-time series
+		t.Fatalf("want 3 panels, got %d", len(tables))
+	}
+	lammps := tables[0]
+	var dsSim, decafSim float64
+	for _, row := range lammps.Rows {
+		switch row[0] {
+		case "DataSpaces/native":
+			dsSim = parseCell(t, row[1])
+		case "Decaf":
+			decafSim = parseCell(t, row[1])
+		}
+	}
+	if dsSim < 380 || dsSim > 460 {
+		t.Fatalf("DataSpaces LAMMPS rank = %.0f MB, want ~400", dsSim)
+	}
+	// Decaf ranks use ~40% more memory (Figure 5d).
+	if decafSim < dsSim*1.25 || decafSim > dsSim*1.6 {
+		t.Fatalf("Decaf rank = %.0f MB vs DataSpaces %.0f MB, want ~1.4x", decafSim, dsSim)
+	}
+}
+
+func TestFig6SFCIndexDominates(t *testing.T) {
+	table := Fig6(quick)
+	last := table.Rows[len(table.Rows)-1]
+	ds := parseCell(t, last[1])
+	dimes := parseCell(t, last[2])
+	if ds < 2000 {
+		t.Fatalf("DataSpaces SFC server = %.0f MB at 64 MB/proc, want multi-GB", ds)
+	}
+	if dimes > 200 {
+		t.Fatalf("DIMES server = %.0f MB, want ~154 MB", dimes)
+	}
+}
+
+func TestFig9MatchedLayoutWins(t *testing.T) {
+	table := Fig9(quick)
+	out := renderOK(t, table)
+	for _, row := range table.Rows {
+		mismatch := parseCell(t, row[1])
+		matched := parseCell(t, row[2])
+		if matched >= mismatch {
+			t.Fatalf("matched layout not faster: %v\n%s", row, out)
+		}
+	}
+}
+
+func TestFig11DecafServerMemoryDrops(t *testing.T) {
+	table := Fig11(quick)
+	first := parseCell(t, table.Rows[0][1])
+	last := parseCell(t, table.Rows[len(table.Rows)-1][1])
+	if last >= first/2 {
+		t.Fatalf("per-server memory %v -> %v, want a large drop", first, last)
+	}
+}
+
+func TestFig12MoreServersHelpStaging(t *testing.T) {
+	table := Fig12(quick)
+	s1 := parseCell(t, table.Rows[0][2])
+	s2 := parseCell(t, table.Rows[1][2])
+	if s2 >= s1 {
+		t.Fatalf("staging time did not improve with servers: %v -> %v", s1, s2)
+	}
+}
+
+func TestFig13SharedModeGains(t *testing.T) {
+	tables := Fig13(quick)
+	out := renderOK(t, tables...)
+	if !strings.Contains(out, "FAIL(DRC-node-secure)") {
+		t.Fatalf("DataSpaces uGNI shared mode should be denied:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL(other)") && !strings.Contains(out, "Decaf") {
+		t.Fatalf("Decaf shared mode should fail:\n%s", out)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	out := renderOK(t, Table1(quick), Table2(quick), Table3(quick), Fig8(quick))
+	for _, want := range []string{"lock_type=2", "LAMMPS", "data staging API", "srv1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3MatchesPaperCounts(t *testing.T) {
+	table := Table3(quick)
+	for _, row := range table.Rows {
+		if row[2] != row[3] {
+			t.Fatalf("LoC mismatch for %s/%s: counted %s, paper %s", row[0], row[1], row[2], row[3])
+		}
+	}
+}
+
+func TestTable4AllFailuresReproduced(t *testing.T) {
+	table := Table4(Options{Steps: 1})
+	wantByIssue := map[string]string{
+		"out of RDMA memory":      "FAIL(out-of-RDMA-memory)",
+		"data dimension overflow": "FAIL(dimension-overflow)",
+		"out of main memory":      "FAIL(out-of-main-memory)",
+		"out of sockets":          "FAIL(out-of-sockets)",
+		"out of DRC":              "FAIL(out-of-DRC)",
+	}
+	for _, row := range table.Rows {
+		want := wantByIssue[row[0]]
+		if !strings.HasPrefix(row[2], want) {
+			t.Fatalf("issue %q observed %q, want prefix %q", row[0], row[2], want)
+		}
+	}
+}
+
+func TestFindingsAllVerified(t *testing.T) {
+	for _, f := range Findings(Options{Steps: 2}) {
+		if !f.Verified {
+			t.Errorf("finding %q not verified: %s", f.Name, f.Detail)
+		} else {
+			t.Logf("finding %q: %s", f.Name, f.Detail)
+		}
+	}
+}
+
+func TestMitigationsResolveFailures(t *testing.T) {
+	table := Mitigations(Options{Steps: 1})
+	if len(table.Rows) != 3 {
+		t.Fatalf("want 3 mitigation rows, got %d", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if !strings.HasPrefix(row[1], "FAIL(") {
+			t.Errorf("%s: baseline should fail, got %q", row[0], row[1])
+		}
+		if !strings.HasPrefix(row[2], "ran (") {
+			t.Errorf("%s: mitigation should run, got %q", row[0], row[2])
+		}
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	tables := Ablations(Options{Quick: true, Steps: 1})
+	if len(tables) != 4 {
+		t.Fatalf("want 4 ablations, got %d", len(tables))
+	}
+	out := renderOK(t, tables...)
+	for _, want := range []string{"ablation-nic", "ablation-lustre", "ablation-packing", "ablation-queue"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationNICShrinksPenalty(t *testing.T) {
+	tables := Ablations(Options{Quick: true, Steps: 2})
+	nic := tables[0]
+	if len(nic.Rows) < 2 {
+		t.Fatalf("rows: %v", nic.Rows)
+	}
+	slow := parseCell(t, strings.TrimSuffix(nic.Rows[0][3], "x"))
+	fast := parseCell(t, strings.TrimSuffix(nic.Rows[len(nic.Rows)-1][3], "x"))
+	if fast >= slow {
+		t.Fatalf("penalty did not shrink with bandwidth: %v -> %v", slow, fast)
+	}
+}
+
+func TestGPUStudyShowsTaxAndRecovery(t *testing.T) {
+	table := GPUStudy(Options{Quick: true, Steps: 2})
+	for _, row := range table.Rows {
+		cpu := parseCell(t, row[1])
+		staged := parseCell(t, row[2])
+		direct := parseCell(t, row[3])
+		if staged <= cpu {
+			t.Fatalf("%s: host staging should cost time (%v <= %v)", row[0], staged, cpu)
+		}
+		if direct >= staged {
+			t.Fatalf("%s: GPU-direct should beat host staging (%v >= %v)", row[0], direct, staged)
+		}
+	}
+}
+
+func TestChartRendersBars(t *testing.T) {
+	tbl := &Table{
+		ID:     "demo",
+		Title:  "demo",
+		Header: []string{"method", "time"},
+	}
+	tbl.AddRow("fast", "1.00")
+	tbl.AddRow("slow", "4.00")
+	tbl.AddRow("broken", "FAIL(x)")
+	var buf bytes.Buffer
+	if err := tbl.Chart(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	fastBar := strings.Count(lineWith(out, "fast"), "#")
+	slowBar := strings.Count(lineWith(out, "slow"), "#")
+	if slowBar != 4*fastBar {
+		t.Fatalf("bars not proportional: fast=%d slow=%d\n%s", fastBar, slowBar, out)
+	}
+	if !strings.Contains(out, "FAIL(x)") {
+		t.Fatalf("failure cell not rendered:\n%s", out)
+	}
+	if err := tbl.Chart(&buf, 9); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+}
+
+func lineWith(out, needle string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, needle) {
+			return line
+		}
+	}
+	return ""
+}
+
+func TestChartAllPicksNumericColumn(t *testing.T) {
+	tbl := Fig8(Options{}) // no numeric columns: skipped without error
+	var buf bytes.Buffer
+	if err := ChartAll(&buf, []*Table{tbl}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("fig8 should not chart, got:\n%s", buf.String())
+	}
+}
+
+func TestResilienceOnlyFileBaselineSurvives(t *testing.T) {
+	table := Resilience(Options{Steps: 1})
+	for _, row := range table.Rows {
+		if row[0] == "MPI-IO" {
+			if !strings.HasPrefix(row[1], "survived") {
+				t.Fatalf("MPI-IO outcome = %q, want survived", row[1])
+			}
+			continue
+		}
+		if row[1] != "workflow crashed" || row[2] != "node-failure" {
+			t.Fatalf("%s outcome = %q/%q, want crash on node failure", row[0], row[1], row[2])
+		}
+	}
+}

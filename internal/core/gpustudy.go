@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/workflow"
+)
+
+// GPUStudy extends the paper's Section IV-B portability assessment into
+// a measurement: none of the studied libraries stage from GPU memory, so
+// GPU-resident workflows pay PCIe copies around every put/get. The study
+// quantifies that tax and the benefit of the NVLink-class GPU-direct
+// staging the paper names as future work.
+func GPUStudy(o Options) *Table {
+	t := &Table{
+		ID:     "gpustudy",
+		Title:  "GPU-resident coupling (Section IV-B extension), Laplace (512,256) on Titan",
+		Header: []string{"method", "cpu-resident s", "gpu host-staged s", "gpu-direct (NVLink) s", "host-staging tax"},
+	}
+	scale := Scale{512, 256}
+	if o.Quick {
+		scale = Scale{64, 32}
+	}
+	for _, method := range []workflow.Method{workflow.MethodFlexpath, workflow.MethodDataSpacesNative} {
+		var cells [3]float64
+		ok := true
+		for i, mode := range []workflow.GPUMode{workflow.GPUOff, workflow.GPUHostStaged, workflow.GPUDirect} {
+			servers := 0
+			if method == workflow.MethodDataSpacesNative {
+				servers = scale.Ana / 4 // the Fig 3 mitigation for 128 MB/proc on Titan
+			}
+			res, err := workflow.Run(workflow.Config{
+				Machine:  hpc.Titan(),
+				Method:   method,
+				Workload: workflow.WorkloadLaplace,
+				SimProcs: scale.Sim,
+				AnaProcs: scale.Ana,
+				Steps:    o.steps(),
+				GPU:      mode,
+				Servers:  servers,
+			})
+			if err != nil || res.Failed {
+				ok = false
+				break
+			}
+			cells[i] = res.EndToEnd
+		}
+		if !ok {
+			t.AddRow(method.String(), "FAIL", "FAIL", "FAIL", "-")
+			continue
+		}
+		t.AddRow(method.String(),
+			seconds(cells[0]), seconds(cells[1]), seconds(cells[2]),
+			fmt.Sprintf("+%.1f%%", 100*(cells[1]/cells[0]-1)))
+	}
+	t.AddNote("host staging funnels every rank's 128 MB through the node's 8 GB/s PCIe link; an NVLink-class direct path (50 GB/s) recovers most of the tax — the 'attractive area for future research' of Section IV-B")
+	return t
+}

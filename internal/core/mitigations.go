@@ -1,0 +1,102 @@
+package core
+
+import (
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/transport"
+	"github.com/imcstudy/imcstudy/internal/workflow"
+)
+
+// Mitigations evaluates the paper's Table IV "suggested resolves" by
+// implementing them in the testbed and re-running the failure scenario
+// with each mitigation on: wait-and-retry RDMA registration, a socket
+// pool, and a distributed (sharded) DRC service. It is the study's
+// extension beyond the paper: the paper proposes these resolves; the
+// testbed measures them.
+func Mitigations(o Options) *Table {
+	t := &Table{
+		ID:     "mitigations",
+		Title:  "Table IV suggested resolves, implemented and measured",
+		Header: []string{"failure", "baseline", "with mitigation", "mitigation cost"},
+	}
+
+	// 1. Out of RDMA memory -> wait-and-retry registration. The Laplace
+	// 128 MB/proc case that crashes under default provisioning completes
+	// once writers queue for registered memory, at some throughput cost
+	// versus the doubled-servers configuration.
+	base := workflow.Config{
+		Machine:  hpc.Titan(),
+		Method:   workflow.MethodDataSpacesNative,
+		Workload: workflow.WorkloadLaplace,
+		SimProcs: 64, AnaProcs: 32, Steps: o.steps(),
+	}
+	baseline, _ := workflow.Run(base)
+	mitigated := base
+	mitigated.RDMAWaitRetry = true
+	fixed, _ := workflow.Run(mitigated)
+	spread := base
+	spread.Servers = 8
+	reference, _ := workflow.Run(spread)
+	cost := "-"
+	if !fixed.Failed && !reference.Failed && reference.EndToEnd > 0 {
+		cost = seconds(fixed.EndToEnd) + "s vs " + seconds(reference.EndToEnd) + "s with 2x servers"
+	}
+	t.AddRow("out of RDMA memory (Fig 3, 128 MB/proc)",
+		cellFor(baseline), cellFor(fixed), cost)
+
+	// 2. Out of sockets -> socket pool. The (2048,1024) LAMMPS run over
+	// TCP exhausts server descriptors; capping every endpoint's pool keeps
+	// it running at a small multiplexing cost.
+	sockBase := workflow.Config{
+		Machine:  hpc.Titan(),
+		Method:   workflow.MethodDataSpacesNative,
+		Workload: workflow.WorkloadLAMMPS,
+		SimProcs: 2048, AnaProcs: 1024, Steps: 1,
+		TransportModeV: transport.ModeSocket,
+	}
+	sockFail, _ := workflow.Run(sockBase)
+	sockPool := sockBase
+	sockPool.SocketPoolSize = 64
+	sockOK, _ := workflow.Run(sockPool)
+	rdmaRef := sockBase
+	rdmaRef.TransportModeV = transport.ModeRDMA
+	rdmaRes, _ := workflow.Run(rdmaRef)
+	cost = "-"
+	if !sockOK.Failed && !rdmaRes.Failed && rdmaRes.EndToEnd > 0 {
+		cost = seconds(sockOK.EndToEnd) + "s vs " + seconds(rdmaRes.EndToEnd) + "s over uGNI"
+	}
+	t.AddRow("out of sockets (Sec III-B5, (2048,1024))",
+		cellFor(sockFail), cellFor(sockOK), cost)
+
+	// 3. Out of DRC -> distributed DRC. The (8192,4096) start-up storm
+	// overloads the single credential server; four shards absorb it.
+	drcScale := Scale{8192, 4096}
+	if o.Quick {
+		drcScale = Scale{8192, 4096} // the storm is the experiment; keep it
+	}
+	drcBase := workflow.Config{
+		Machine:  hpc.Cori(),
+		Method:   workflow.MethodDIMESNative,
+		Workload: workflow.WorkloadLAMMPS,
+		SimProcs: drcScale.Sim, AnaProcs: drcScale.Ana, Steps: 1,
+	}
+	drcFail, _ := workflow.Run(drcBase)
+	drcSharded := drcBase
+	drcSharded.DRCShards = 4
+	drcOK, _ := workflow.Run(drcSharded)
+	cost = "-"
+	if !drcOK.Failed {
+		cost = "start-up spread over 4 shards"
+	}
+	t.AddRow("out of DRC (Sec III-B1, (8192,4096) on Cori)",
+		cellFor(drcFail), cellFor(drcOK), cost)
+
+	t.AddNote("each mitigation is implemented in the model (transport.WithWaitRetry, transport.WithSocketPool, rdma.DRCConfig.Shards) and turned on per run")
+	return t
+}
+
+func cellFor(res workflow.Result) string {
+	if res.Failed {
+		return failCell(res.FailErr)
+	}
+	return "ran (" + seconds(res.EndToEnd) + "s)"
+}

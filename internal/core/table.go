@@ -1,0 +1,92 @@
+// Package core is the study itself: the experiment registry that
+// regenerates every table and figure of the paper on the modelled
+// machines, plus the programmatic checks behind the qualitative analysis
+// (Findings 1-8, Table V).
+//
+// Each experiment function runs the workflows it needs and returns
+// renderable Tables whose rows correspond to the series the paper plots.
+// Experiments accept an Options value so tests and benchmarks can run
+// trimmed sweeps while cmd/imcbench runs the full ones.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// Table is one renderable result table (a figure's data series or a
+// table's rows).
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Header) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+		sep := make([]string, len(t.Header))
+		for i, h := range t.Header {
+			sep[i] = strings.Repeat("-", len(h))
+		}
+		fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderAll renders a list of tables.
+func RenderAll(w io.Writer, tables []*Table) error {
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seconds formats a virtual duration for a table cell.
+func seconds(t sim.Time) string { return fmt.Sprintf("%.2f", t) }
+
+// mb formats bytes as MB.
+func mb(b int64) string { return fmt.Sprintf("%.0f", float64(b)/(1<<20)) }
+
+// failCell renders a failure cell with its Table IV class.
+func failCell(err error) string {
+	if err == nil {
+		return "FAIL"
+	}
+	return "FAIL(" + failureClass(err) + ")"
+}

@@ -1,0 +1,223 @@
+package dimes
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/ndarray"
+	"github.com/imcstudy/imcstudy/internal/rdma"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+func newTitan(t *testing.T, nodes int) (*sim.Engine, *hpc.Machine) {
+	t.Helper()
+	e := sim.NewEngine()
+	m, err := hpc.New(e, hpc.Titan(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, m
+}
+
+func box(t *testing.T, lo, hi []uint64) ndarray.Box {
+	t.Helper()
+	b, err := ndarray.NewBox(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	e, m := newTitan(t, 8)
+	sys, err := Deploy(m, Config{Writers: 2}, m.Nodes[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := box(t, []uint64{0}, []uint64{200})
+	whole := make([]float64, 200)
+	for i := range whole {
+		whole[i] = float64(i) * 1.5
+	}
+	wholeBlk, err := ndarray.NewDenseBlock(global, whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		i := i
+		w, err := sys.NewClient(m.Nodes[2+i], "sim", "w", 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Spawn("writer", func(p *sim.Proc) error {
+			slab := box(t, []uint64{uint64(i * 100)}, []uint64{uint64(i*100 + 100)})
+			sub, err := wholeBlk.Sub(slab)
+			if err != nil {
+				return err
+			}
+			if err := w.Put(p, "T", 1, sub); err != nil {
+				return err
+			}
+			w.Commit("T", 1)
+			return nil
+		})
+	}
+	r, err := sys.NewClient(m.Nodes[5], "analytics", "r", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("reader", func(p *sim.Proc) error {
+		want := box(t, []uint64{50}, []uint64{150})
+		got, err := r.Get(p, "T", 1, want)
+		if err != nil {
+			return err
+		}
+		for i := range got.Data {
+			if got.Data[i] != float64(50+i)*1.5 {
+				t.Errorf("elem %d = %v", i, got.Data[i])
+				break
+			}
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutPinsRDMAMemory(t *testing.T) {
+	e, m := newTitan(t, 3)
+	sys, err := Deploy(m, Config{Writers: 1}, m.Nodes[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sys.NewClient(m.Nodes[2], "sim", "w", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := box(t, []uint64{0}, []uint64{1 << 20}) // 8 MB
+	e.Spawn("writer", func(p *sim.Proc) error {
+		if err := w.Put(p, "T", 1, ndarray.NewSyntheticBlock(global)); err != nil {
+			return err
+		}
+		if got := w.RDMADomain().MemUsed(); got != 8<<20 {
+			t.Errorf("RDMA pinned = %d, want %d", got, 8<<20)
+		}
+		// Putting version 2 with max_versions=1 evicts and unpins v1.
+		if err := w.Put(p, "T", 2, ndarray.NewSyntheticBlock(global)); err != nil {
+			return err
+		}
+		if got := w.RDMADomain().MemUsed(); got != 8<<20 {
+			t.Errorf("RDMA pinned after eviction = %d, want %d", got, 8<<20)
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if got := w.RDMADomain().MemUsed(); got != 0 {
+		t.Fatalf("RDMA pinned after close = %d", got)
+	}
+}
+
+func TestPinnedPoolExhaustsProcessDomain(t *testing.T) {
+	// One writer retaining many 128 MB versions exhausts its process's
+	// 1,843 MB registered-memory domain (Figure 3's out-of-RDMA class).
+	e, m := newTitan(t, 3)
+	sys, err := Deploy(m, Config{Writers: 1, RDMABufBytes: 4 << 30, MaxVersions: 32}, m.Nodes[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sys.NewClient(m.Nodes[2], "sim", "w", 128<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failedAt := 0
+	e.Spawn("writer", func(p *sim.Proc) error {
+		blk := ndarray.NewSyntheticBlock(box(t, []uint64{0}, []uint64{16 << 20})) // 128 MB
+		for v := 1; v <= 20; v++ {
+			err := w.Put(p, "T", v, blk)
+			if errors.Is(err, rdma.ErrOutOfMemory) {
+				failedAt = v
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 14 x 128 MB = 1,792 MB fits; the 15th does not.
+	if failedAt != 15 {
+		t.Fatalf("failed at version %d, want 15", failedAt)
+	}
+}
+
+func TestBufferPoolLimit(t *testing.T) {
+	e, m := newTitan(t, 3)
+	sys, err := Deploy(m, Config{Writers: 1, RDMABufBytes: 10 << 20, MaxVersions: 4}, m.Nodes[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sys.NewClient(m.Nodes[2], "sim", "w", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("writer", func(p *sim.Proc) error {
+		blk := ndarray.NewSyntheticBlock(box(t, []uint64{0}, []uint64{1 << 20})) // 8 MB
+		if err := w.Put(p, "T", 1, blk); err != nil {
+			return err
+		}
+		err := w.Put(p, "T", 2, blk)
+		if !errors.Is(err, ErrBufferFull) {
+			t.Errorf("second put error = %v, want ErrBufferFull", err)
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetaServersStaySmall(t *testing.T) {
+	e, m := newTitan(t, 8)
+	sys, err := Deploy(m, Config{Writers: 4}, m.Nodes[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		w, err := sys.NewClient(m.Nodes[2+i], "sim", "w", 64<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Spawn("writer", func(p *sim.Proc) error {
+			blk := ndarray.NewSyntheticBlock(box(t, []uint64{uint64(i) << 23}, []uint64{uint64(i+1) << 23}))
+			return w.Put(p, "T", 1, blk)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Each server: 150 MB base + at most a few KB of metadata (~154 MB in
+	// the paper's Figure 6).
+	peak := m.Mem.MaxPeakMatching("dimes-server")
+	if peak < MetaServerBaseBytes || peak > MetaServerBaseBytes+(10<<10) {
+		t.Fatalf("meta server peak = %d, want ~%d", peak, MetaServerBaseBytes)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	_, m := newTitan(t, 1)
+	if _, err := Deploy(m, Config{Writers: 0}, m.Nodes); err == nil {
+		t.Fatal("zero writers accepted")
+	}
+	if _, err := Deploy(m, Config{Writers: 1, MetaServers: 8}, m.Nodes); err == nil {
+		t.Fatal("8 servers on 1 node accepted")
+	}
+}

@@ -1,0 +1,346 @@
+// Package ffs implements a Fast-Flexible-Serialization-style
+// self-describing binary format, the encoding layer Flexpath uses for its
+// typed publish/subscribe events (Section II-A). Every encoded buffer
+// carries its own schema, so a subscriber can decode events without
+// out-of-band type agreement.
+package ffs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Format constants.
+const (
+	magic   uint32 = 0x46465331 // "FFS1"
+	version uint16 = 1
+)
+
+// Decoding errors.
+var (
+	// ErrBadMagic reports a buffer that is not an FFS encoding.
+	ErrBadMagic = errors.New("ffs: bad magic")
+	// ErrTruncated reports a buffer shorter than its own encoding claims.
+	ErrTruncated = errors.New("ffs: truncated buffer")
+	// ErrFieldMissing reports a record lacking a schema field.
+	ErrFieldMissing = errors.New("ffs: record missing field")
+	// ErrBadType reports a value whose dynamic type contradicts the schema.
+	ErrBadType = errors.New("ffs: value type does not match schema")
+)
+
+// FieldType enumerates the supported field types.
+type FieldType uint8
+
+// Supported field types.
+const (
+	TInt64 FieldType = iota + 1
+	TUint64
+	TFloat64
+	TString
+	TFloat64s
+	TUint64s
+	TBytes
+)
+
+// String returns the type name.
+func (t FieldType) String() string {
+	switch t {
+	case TInt64:
+		return "int64"
+	case TUint64:
+		return "uint64"
+	case TFloat64:
+		return "float64"
+	case TString:
+		return "string"
+	case TFloat64s:
+		return "[]float64"
+	case TUint64s:
+		return "[]uint64"
+	case TBytes:
+		return "[]byte"
+	default:
+		return fmt.Sprintf("FieldType(%d)", uint8(t))
+	}
+}
+
+// Field is one named, typed slot of a schema.
+type Field struct {
+	Name string
+	Type FieldType
+}
+
+// Schema describes a record layout.
+type Schema struct {
+	Name   string
+	Fields []Field
+}
+
+// Record is a set of field values keyed by field name.
+type Record map[string]any
+
+// Encode serializes the record under the schema into a self-describing
+// buffer. Every schema field must be present with the right dynamic type.
+func Encode(s Schema, rec Record) ([]byte, error) {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, magic)
+	buf = binary.BigEndian.AppendUint16(buf, version)
+	buf = appendString(buf, s.Name)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Fields)))
+	for _, f := range s.Fields {
+		buf = appendString(buf, f.Name)
+		buf = append(buf, byte(f.Type))
+	}
+	for _, f := range s.Fields {
+		v, ok := rec[f.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrFieldMissing, f.Name)
+		}
+		var err error
+		buf, err = appendValue(buf, f, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendValue(buf []byte, f Field, v any) ([]byte, error) {
+	switch f.Type {
+	case TInt64:
+		x, ok := v.(int64)
+		if !ok {
+			return nil, typeErr(f, v)
+		}
+		return binary.BigEndian.AppendUint64(buf, uint64(x)), nil
+	case TUint64:
+		x, ok := v.(uint64)
+		if !ok {
+			return nil, typeErr(f, v)
+		}
+		return binary.BigEndian.AppendUint64(buf, x), nil
+	case TFloat64:
+		x, ok := v.(float64)
+		if !ok {
+			return nil, typeErr(f, v)
+		}
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(x)), nil
+	case TString:
+		x, ok := v.(string)
+		if !ok {
+			return nil, typeErr(f, v)
+		}
+		return appendString(buf, x), nil
+	case TFloat64s:
+		x, ok := v.([]float64)
+		if !ok {
+			return nil, typeErr(f, v)
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(len(x)))
+		for _, e := range x {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(e))
+		}
+		return buf, nil
+	case TUint64s:
+		x, ok := v.([]uint64)
+		if !ok {
+			return nil, typeErr(f, v)
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(len(x)))
+		for _, e := range x {
+			buf = binary.BigEndian.AppendUint64(buf, e)
+		}
+		return buf, nil
+	case TBytes:
+		x, ok := v.([]byte)
+		if !ok {
+			return nil, typeErr(f, v)
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(len(x)))
+		return append(buf, x...), nil
+	default:
+		return nil, fmt.Errorf("ffs: unknown field type %v", f.Type)
+	}
+}
+
+func typeErr(f Field, v any) error {
+	return fmt.Errorf("%w: field %s wants %v, got %T", ErrBadType, f.Name, f.Type, v)
+}
+
+// Decode parses a self-describing buffer into its schema and record.
+func Decode(buf []byte) (Schema, Record, error) {
+	d := &decoder{buf: buf}
+	m, err := d.uint32()
+	if err != nil {
+		return Schema{}, nil, err
+	}
+	if m != magic {
+		return Schema{}, nil, ErrBadMagic
+	}
+	if _, err := d.uint16(); err != nil {
+		return Schema{}, nil, err
+	}
+	name, err := d.str()
+	if err != nil {
+		return Schema{}, nil, err
+	}
+	nf, err := d.uint32()
+	if err != nil {
+		return Schema{}, nil, err
+	}
+	s := Schema{Name: name}
+	for i := uint32(0); i < nf; i++ {
+		fn, err := d.str()
+		if err != nil {
+			return Schema{}, nil, err
+		}
+		ft, err := d.byte()
+		if err != nil {
+			return Schema{}, nil, err
+		}
+		s.Fields = append(s.Fields, Field{Name: fn, Type: FieldType(ft)})
+	}
+	rec := make(Record, len(s.Fields))
+	for _, f := range s.Fields {
+		v, err := d.value(f)
+		if err != nil {
+			return Schema{}, nil, err
+		}
+		rec[f.Name] = v
+	}
+	return s, rec, nil
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) need(n int) error {
+	if n < 0 || d.off+n > len(d.buf) {
+		return ErrTruncated
+	}
+	return nil
+}
+
+// needElems bounds a count field against the remaining buffer before any
+// allocation, so corrupted lengths cannot trigger huge makeslice calls.
+func (d *decoder) needElems(count uint64, elemSize int) error {
+	remaining := uint64(len(d.buf) - d.off)
+	if count > remaining/uint64(elemSize) {
+		return ErrTruncated
+	}
+	return nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) uint16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) uint32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) uint64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uint32()
+	if err != nil {
+		return "", err
+	}
+	if err := d.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) value(f Field) (any, error) {
+	switch f.Type {
+	case TInt64:
+		v, err := d.uint64()
+		return int64(v), err
+	case TUint64:
+		return d.uint64()
+	case TFloat64:
+		v, err := d.uint64()
+		return math.Float64frombits(v), err
+	case TString:
+		return d.str()
+	case TFloat64s:
+		n, err := d.uint64()
+		if err != nil {
+			return nil, err
+		}
+		if err := d.needElems(n, 8); err != nil {
+			return nil, err
+		}
+		out := make([]float64, n)
+		for i := range out {
+			v, _ := d.uint64()
+			out[i] = math.Float64frombits(v)
+		}
+		return out, nil
+	case TUint64s:
+		n, err := d.uint64()
+		if err != nil {
+			return nil, err
+		}
+		if err := d.needElems(n, 8); err != nil {
+			return nil, err
+		}
+		out := make([]uint64, n)
+		for i := range out {
+			out[i], _ = d.uint64()
+		}
+		return out, nil
+	case TBytes:
+		n, err := d.uint64()
+		if err != nil {
+			return nil, err
+		}
+		if err := d.needElems(n, 1); err != nil {
+			return nil, err
+		}
+		out := make([]byte, n)
+		copy(out, d.buf[d.off:])
+		d.off += int(n)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("ffs: unknown field type %v", f.Type)
+	}
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}

@@ -1,0 +1,189 @@
+package ffs
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func blockSchema() Schema {
+	return Schema{
+		Name: "block",
+		Fields: []Field{
+			{Name: "var", Type: TString},
+			{Name: "version", Type: TInt64},
+			{Name: "lo", Type: TUint64s},
+			{Name: "hi", Type: TUint64s},
+			{Name: "data", Type: TFloat64s},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rec := Record{
+		"var":     "temperature",
+		"version": int64(3),
+		"lo":      []uint64{0, 128},
+		"hi":      []uint64{64, 256},
+		"data":    []float64{1.5, -2.25, 3.75},
+	}
+	buf, err := Encode(blockSchema(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "block" || len(s.Fields) != 5 {
+		t.Fatalf("schema = %+v", s)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("decoded = %v, want %v", got, rec)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	s := Schema{Name: "x", Fields: []Field{{Name: "a", Type: TInt64}}}
+	if _, err := Encode(s, Record{}); !errors.Is(err, ErrFieldMissing) {
+		t.Fatalf("missing field error = %v", err)
+	}
+	if _, err := Encode(s, Record{"a": "oops"}); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type error = %v", err)
+	}
+}
+
+func TestDecodeBadInput(t *testing.T) {
+	if _, _, err := Decode([]byte{1, 2, 3, 4}); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic error = %v", err)
+	}
+	rec := Record{"a": int64(1)}
+	buf, err := Encode(Schema{Name: "x", Fields: []Field{{Name: "a", Type: TInt64}}}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(buf); cut += 3 {
+		if _, _, err := Decode(buf[:len(buf)-cut]); err == nil {
+			t.Fatalf("truncation by %d not detected", cut)
+		}
+	}
+}
+
+func TestAllTypesRoundTrip(t *testing.T) {
+	s := Schema{
+		Name: "all",
+		Fields: []Field{
+			{Name: "i", Type: TInt64},
+			{Name: "u", Type: TUint64},
+			{Name: "f", Type: TFloat64},
+			{Name: "s", Type: TString},
+			{Name: "fs", Type: TFloat64s},
+			{Name: "us", Type: TUint64s},
+			{Name: "b", Type: TBytes},
+		},
+	}
+	rec := Record{
+		"i":  int64(-5),
+		"u":  uint64(5),
+		"f":  3.14159,
+		"s":  "héllo",
+		"fs": []float64{},
+		"us": []uint64{1 << 60},
+		"b":  []byte{0, 255, 127},
+	}
+	buf, err := Encode(s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("decoded = %v, want %v", got, rec)
+	}
+}
+
+// Property: arbitrary records built from random strings and numeric slices
+// survive a round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(name string, i int64, u uint64, fl float64, str string, fs []float64, us []uint64, b []byte) bool {
+		if fs == nil {
+			fs = []float64{}
+		}
+		if us == nil {
+			us = []uint64{}
+		}
+		if b == nil {
+			b = []byte{}
+		}
+		s := Schema{
+			Name: name,
+			Fields: []Field{
+				{Name: "i", Type: TInt64},
+				{Name: "u", Type: TUint64},
+				{Name: "f", Type: TFloat64},
+				{Name: "s", Type: TString},
+				{Name: "fs", Type: TFloat64s},
+				{Name: "us", Type: TUint64s},
+				{Name: "b", Type: TBytes},
+			},
+		}
+		rec := Record{"i": i, "u": u, "f": fl, "s": str, "fs": fs, "us": us, "b": b}
+		buf, err := Encode(s, rec)
+		if err != nil {
+			return false
+		}
+		s2, got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return s2.Name == name && reflect.DeepEqual(got, rec)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldTypeString(t *testing.T) {
+	if TFloat64s.String() != "[]float64" || TString.String() != "string" {
+		t.Fatal("type names wrong")
+	}
+}
+
+// Decoding arbitrary mutations of a valid buffer must never panic and
+// must either fail or produce a well-formed record.
+func TestDecodeMutatedBufferNeverPanics(t *testing.T) {
+	rec := Record{
+		"i":  int64(-5),
+		"s":  "payload",
+		"fs": []float64{1, 2, 3},
+	}
+	schema := Schema{Name: "m", Fields: []Field{
+		{Name: "i", Type: TInt64},
+		{Name: "s", Type: TString},
+		{Name: "fs", Type: TFloat64s},
+	}}
+	buf, err := Encode(schema, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]byte(nil), buf...)
+		for k := 0; k < rng.Intn(4)+1; k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated buffer: %v", r)
+				}
+			}()
+			_, _, _ = Decode(mut)
+		}()
+	}
+}

@@ -1,0 +1,342 @@
+package flexpath
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/ndarray"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+func newTitan(t *testing.T, nodes int) (*sim.Engine, *hpc.Machine) {
+	t.Helper()
+	e := sim.NewEngine()
+	m, err := hpc.New(e, hpc.Titan(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, m
+}
+
+func box(t *testing.T, lo, hi []uint64) ndarray.Box {
+	t.Helper()
+	b, err := ndarray.NewBox(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestPublishFetchRoundTrip(t *testing.T) {
+	e, m := newTitan(t, 4)
+	sys := Deploy(m, Config{})
+	global := box(t, []uint64{0}, []uint64{100})
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = float64(i) * 2
+	}
+	whole, err := ndarray.NewDenseBlock(global, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sys.NewWriter(m.Nodes[0], "sim", "w0", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Declare("T", global)
+	r, err := sys.NewReader(m.Nodes[2], "analytics", "r0", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Subscribe("T", box(t, []uint64{20}, []uint64{80}))
+
+	e.Spawn("writer", func(p *sim.Proc) error {
+		return w.Publish(p, "T", 1, whole)
+	})
+	e.Spawn("reader", func(p *sim.Proc) error {
+		got, err := r.Fetch(p, "T", 1)
+		if err != nil {
+			return err
+		}
+		for i := range got.Data {
+			if got.Data[i] != float64(20+i)*2 {
+				t.Errorf("elem %d = %v", i, got.Data[i])
+				break
+			}
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueBackPressure(t *testing.T) {
+	e, m := newTitan(t, 4)
+	sys := Deploy(m, Config{QueueSize: 1})
+	global := box(t, []uint64{0}, []uint64{1000})
+	w, err := sys.NewWriter(m.Nodes[0], "sim", "w0", 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Declare("T", global)
+	r, err := sys.NewReader(m.Nodes[2], "analytics", "r0", 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Subscribe("T", global)
+
+	var pub2At sim.Time
+	e.Spawn("writer", func(p *sim.Proc) error {
+		if err := w.Publish(p, "T", 1, ndarray.NewSyntheticBlock(global)); err != nil {
+			return err
+		}
+		// queue_size=1: this publish must block until the reader consumes v1.
+		if err := w.Publish(p, "T", 2, ndarray.NewSyntheticBlock(global)); err != nil {
+			return err
+		}
+		pub2At = p.Now()
+		return nil
+	})
+	e.Spawn("reader", func(p *sim.Proc) error {
+		if err := p.Sleep(5); err != nil { // slow analytics
+			return err
+		}
+		if _, err := r.Fetch(p, "T", 1); err != nil {
+			return err
+		}
+		_, err := r.Fetch(p, "T", 2)
+		return err
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pub2At < 5 {
+		t.Fatalf("publish v2 completed at %v, before the reader drained v1 at >=5", pub2At)
+	}
+}
+
+func TestWriterSideStagingMemory(t *testing.T) {
+	e, m := newTitan(t, 4)
+	sys := Deploy(m, Config{QueueSize: 2})
+	global := box(t, []uint64{0}, []uint64{1 << 20}) // 8 MB
+	w, err := sys.NewWriter(m.Nodes[0], "sim", "w0", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Declare("T", global)
+	r, err := sys.NewReader(m.Nodes[2], "analytics", "r0", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Subscribe("T", global)
+	e.Spawn("writer", func(p *sim.Proc) error {
+		if err := w.Publish(p, "T", 1, ndarray.NewSyntheticBlock(global)); err != nil {
+			return err
+		}
+		// Data is staged at the WRITER's node (no staging servers).
+		if got := m.Mem.Component("w0").CurrentOf("staging"); got != 8<<20 {
+			t.Errorf("writer staging = %d, want %d", got, 8<<20)
+		}
+		return nil
+	})
+	e.Spawn("reader", func(p *sim.Proc) error {
+		if _, err := r.Fetch(p, "T", 1); err != nil {
+			return err
+		}
+		// After the only subscriber consumed it, the queue entry drains.
+		if got := m.Mem.Component("w0").CurrentOf("staging"); got != 0 {
+			t.Errorf("writer staging after fetch = %d, want 0", got)
+		}
+		if w.QueueDepth("T") != 0 {
+			t.Errorf("queue depth = %d, want 0", w.QueueDepth("T"))
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiWriterFetchAssembles(t *testing.T) {
+	e, m := newTitan(t, 6)
+	sys := Deploy(m, Config{})
+	r, err := sys.NewReader(m.Nodes[4], "analytics", "r0", 1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Subscribe("T", box(t, []uint64{0}, []uint64{200}))
+	for i := 0; i < 2; i++ {
+		i := i
+		w, err := sys.NewWriter(m.Nodes[i], "sim", "w", 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slab := box(t, []uint64{uint64(i * 100)}, []uint64{uint64(i*100 + 100)})
+		w.Declare("T", slab)
+		data := make([]float64, 100)
+		for j := range data {
+			data[j] = float64(i*100 + j)
+		}
+		blk, err := ndarray.NewDenseBlock(slab, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Spawn("writer", func(p *sim.Proc) error {
+			return w.Publish(p, "T", 1, blk)
+		})
+	}
+	e.Spawn("reader", func(p *sim.Proc) error {
+		got, err := r.Fetch(p, "T", 1)
+		if err != nil {
+			return err
+		}
+		for i, v := range got.Data {
+			if v != float64(i) {
+				t.Errorf("elem %d = %v", i, v)
+				break
+			}
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishUndeclaredFails(t *testing.T) {
+	e, m := newTitan(t, 2)
+	sys := Deploy(m, Config{})
+	w, err := sys.NewWriter(m.Nodes[0], "sim", "w0", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("writer", func(p *sim.Proc) error {
+		err := w.Publish(p, "T", 1, ndarray.NewSyntheticBlock(box(t, []uint64{0}, []uint64{10})))
+		if !errors.Is(err, ErrNotDeclared) {
+			t.Errorf("error = %v, want ErrNotDeclared", err)
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchNoProducersFails(t *testing.T) {
+	e, m := newTitan(t, 2)
+	sys := Deploy(m, Config{})
+	r, err := sys.NewReader(m.Nodes[0], "analytics", "r0", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Subscribe("T", box(t, []uint64{0}, []uint64{10}))
+	e.Spawn("reader", func(p *sim.Proc) error {
+		_, err := r.Fetch(p, "T", 1)
+		if !errors.Is(err, ErrNotDeclared) {
+			t.Errorf("error = %v, want ErrNotDeclared", err)
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleVariablesIndependentQueues(t *testing.T) {
+	// Two variables on one writer have independent queue_size back-pressure.
+	e, m := newTitan(t, 4)
+	sys := Deploy(m, Config{QueueSize: 1})
+	g := box(t, []uint64{0}, []uint64{100})
+	w, err := sys.NewWriter(m.Nodes[0], "sim", "w0", 1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Declare("a", g)
+	w.Declare("b", g)
+	r, err := sys.NewReader(m.Nodes[2], "analytics", "r0", 1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Subscribe("a", g)
+	r.Subscribe("b", g)
+	e.Spawn("writer", func(p *sim.Proc) error {
+		// Publishing one version of each var must not block: queues are
+		// per variable.
+		if err := w.Publish(p, "a", 1, ndarray.NewSyntheticBlock(g)); err != nil {
+			return err
+		}
+		if err := w.Publish(p, "b", 1, ndarray.NewSyntheticBlock(g)); err != nil {
+			return err
+		}
+		if w.QueueDepth("a") != 1 || w.QueueDepth("b") != 1 {
+			t.Errorf("queue depths = %d/%d, want 1/1", w.QueueDepth("a"), w.QueueDepth("b"))
+		}
+		return nil
+	})
+	e.Spawn("reader", func(p *sim.Proc) error {
+		// Let the writer finish both publishes (and its depth checks)
+		// before draining.
+		if err := p.Sleep(5); err != nil {
+			return err
+		}
+		if _, err := r.Fetch(p, "a", 1); err != nil {
+			return err
+		}
+		_, err := r.Fetch(p, "b", 1)
+		return err
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoSubscribersDrainTogether(t *testing.T) {
+	// An entry drains only after BOTH overlapping subscribers consumed it.
+	e, m := newTitan(t, 6)
+	sys := Deploy(m, Config{QueueSize: 1})
+	g := box(t, []uint64{0}, []uint64{100})
+	w, err := sys.NewWriter(m.Nodes[0], "sim", "w0", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Declare("v", g)
+	var readers []*Reader
+	for i := 0; i < 2; i++ {
+		r, err := sys.NewReader(m.Nodes[2+i], "analytics", "r", 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Subscribe("v", g)
+		readers = append(readers, r)
+	}
+	e.Spawn("writer", func(p *sim.Proc) error {
+		return w.Publish(p, "v", 1, ndarray.NewSyntheticBlock(g))
+	})
+	e.Spawn("r0", func(p *sim.Proc) error {
+		if _, err := readers[0].Fetch(p, "v", 1); err != nil {
+			return err
+		}
+		// First consumer alone must not drain the entry.
+		if w.QueueDepth("v") != 1 {
+			t.Errorf("queue drained after one of two subscribers")
+		}
+		return nil
+	})
+	e.Spawn("r1", func(p *sim.Proc) error {
+		if err := p.Sleep(1); err != nil {
+			return err
+		}
+		if _, err := readers[1].Fetch(p, "v", 1); err != nil {
+			return err
+		}
+		if w.QueueDepth("v") != 0 {
+			t.Errorf("queue not drained after both subscribers")
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package gpu
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+func attach(t *testing.T, spec Spec) (*sim.Engine, *Device) {
+	t.Helper()
+	e := sim.NewEngine()
+	m, err := hpc.New(e, hpc.Titan(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Attach(m, m.Nodes[0], spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, d
+}
+
+func TestDeviceMemoryAccounting(t *testing.T) {
+	_, d := attach(t, TitanK20X())
+	if err := d.Alloc(5 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Alloc(2 << 30); !errors.Is(err, ErrOutOfDeviceMemory) {
+		t.Fatalf("error = %v, want ErrOutOfDeviceMemory (6 GB K20X)", err)
+	}
+	d.Free(5 << 30)
+	if err := d.Alloc(6 << 30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyTimesPCIe(t *testing.T) {
+	e, d := attach(t, TitanK20X())
+	var end sim.Time
+	e.Spawn("p", func(p *sim.Proc) error {
+		if err := d.CopyD2H(p, 8_000_000_000); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-1) > 1e-6 {
+		t.Fatalf("D2H of 8 GB at 8 GB/s = %v, want 1 s", end)
+	}
+}
+
+func TestDirectPathAvailability(t *testing.T) {
+	e, plain := attach(t, TitanK20X())
+	e.Spawn("p", func(p *sim.Proc) error {
+		if err := plain.TransferDirect(p, 100); err == nil {
+			t.Error("K20X must have no direct staging path")
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, nvl := attach(t, FutureNVLink())
+	var end sim.Time
+	e2.Spawn("p", func(p *sim.Proc) error {
+		if err := nvl.TransferDirect(p, 50_000_000_000); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-1) > 1e-6 {
+		t.Fatalf("direct transfer of 50 GB at 50 GB/s = %v, want 1 s", end)
+	}
+}
+
+func TestSharedPCIeContention(t *testing.T) {
+	// Sixteen ranks sharing one device funnel through one PCIe link.
+	e, d := attach(t, TitanK20X())
+	var latest sim.Time
+	for i := 0; i < 16; i++ {
+		e.Spawn("rank", func(p *sim.Proc) error {
+			if err := d.CopyD2H(p, 500_000_000); err != nil {
+				return err
+			}
+			if p.Now() > latest {
+				latest = p.Now()
+			}
+			return nil
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(latest-1) > 1e-6 {
+		t.Fatalf("16 x 0.5 GB over 8 GB/s = %v, want 1 s", latest)
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	e := sim.NewEngine()
+	m, err := hpc.New(e, hpc.Titan(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(m, m.Nodes[0], Spec{}); err == nil {
+		t.Fatal("zero spec accepted")
+	}
+}

@@ -1,0 +1,215 @@
+// Package hpc models the two supercomputers of the study — Titan (Cray
+// Gemini, 3D torus) and Cori KNL (Cray Aries, dragonfly) — as collections
+// of nodes with bounded NIC injection bandwidth, main memory, RDMA
+// resources, socket descriptors, a Lustre filesystem and (on Cori) a DRC
+// credential service. All timing in the testbed derives from these
+// models.
+package hpc
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/imcstudy/imcstudy/internal/lustre"
+	"github.com/imcstudy/imcstudy/internal/memprof"
+	"github.com/imcstudy/imcstudy/internal/rdma"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// ErrOutOfNodeMemory reports main-memory exhaustion on a node (Table IV,
+// "out of main memory").
+var ErrOutOfNodeMemory = errors.New("hpc: out of node memory")
+
+// ErrNodeFailed reports communication with a failed node (the machine
+// failures Section IV-C notes no staging library tolerates).
+var ErrNodeFailed = errors.New("hpc: node failed")
+
+// Spec describes one machine. All bandwidths are bytes per second; all
+// compute costs elsewhere in the testbed are expressed in Titan-seconds
+// and divided by CPUSpeed.
+type Spec struct {
+	Name         string
+	CoresPerNode int
+	// CPUSpeed is the per-core speed relative to Titan's 2.2 GHz Opteron
+	// (Cori KNL: 1.4/2.2 = 0.636, the ratio the paper quotes).
+	CPUSpeed     float64
+	NodeMemBytes int64
+
+	// Interconnect.
+	NICBytesPerSec float64
+	NICLatency     sim.Time
+	// MemBusBytesPerSec bounds intra-node (shared-memory) copies.
+	MemBusBytesPerSec float64
+
+	// RDMA resources per node.
+	RDMAMemBytes   int64
+	RDMAMaxHandles int64
+	RDMAProtocol   rdma.Protocol
+
+	// Socket transport.
+	SocketDescriptors int64
+	// SocketEff derates NIC bandwidth for TCP (memory copies across the
+	// network stack, Section III-B5).
+	SocketEff     float64
+	SocketLatency sim.Time
+
+	// DRC credential service (zero value: machine has no DRC).
+	DRC *rdma.DRCConfig
+
+	// Scheduling capabilities (Finding 5).
+	AllowNodeSharing   bool
+	AllowHeterogeneous bool
+
+	Lustre lustre.Spec
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.CoresPerNode <= 0 {
+		return fmt.Errorf("hpc: %d cores per node", s.CoresPerNode)
+	}
+	if s.CPUSpeed <= 0 {
+		return fmt.Errorf("hpc: CPU speed %f", s.CPUSpeed)
+	}
+	if s.NICBytesPerSec <= 0 {
+		return fmt.Errorf("hpc: NIC bandwidth %f", s.NICBytesPerSec)
+	}
+	if s.SocketEff <= 0 || s.SocketEff > 1 {
+		return fmt.Errorf("hpc: socket efficiency %f", s.SocketEff)
+	}
+	return s.Lustre.Validate()
+}
+
+// Node is one compute node.
+type Node struct {
+	ID  int
+	in  *sim.Link
+	out *sim.Link
+	bus *sim.Link
+
+	Socks *sim.Resource
+	Mem   *sim.Resource
+
+	jobs   map[string]struct{}
+	failed bool
+}
+
+// Failed reports whether the node has crashed.
+func (n *Node) Failed() bool { return n.failed }
+
+// Fail marks the node crashed: all subsequent communication with it
+// errors (the abrupt machine failures of Section IV-C).
+func (n *Node) Fail() { n.failed = true }
+
+// In returns the node's NIC ingress link.
+func (n *Node) In() *sim.Link { return n.in }
+
+// Out returns the node's NIC egress link.
+func (n *Node) Out() *sim.Link { return n.out }
+
+// Bus returns the node's memory-bus link for intra-node copies.
+func (n *Node) Bus() *sim.Link { return n.bus }
+
+// Name returns a stable node name.
+func (n *Node) Name() string { return fmt.Sprintf("node-%d", n.ID) }
+
+// Machine is a running machine instance.
+type Machine struct {
+	SpecV Spec
+	E     *sim.Engine
+	Net   *sim.Net
+	Nodes []*Node
+	FS    *lustre.FS
+	DRC   *rdma.DRC
+	Mem   *memprof.Tracker
+}
+
+// New builds a machine with nNodes nodes on the given engine.
+func New(e *sim.Engine, spec Spec, nNodes int) (*Machine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if nNodes <= 0 {
+		return nil, fmt.Errorf("hpc: %d nodes", nNodes)
+	}
+	m := &Machine{SpecV: spec, E: e, Net: e.NewNet(), Mem: memprof.NewTracker(e)}
+	fs, err := lustre.New(e, m.Net, spec.Lustre)
+	if err != nil {
+		return nil, err
+	}
+	m.FS = fs
+	if spec.DRC != nil {
+		drc, err := rdma.NewDRC(e, *spec.DRC)
+		if err != nil {
+			return nil, err
+		}
+		m.DRC = drc
+	}
+	for i := 0; i < nNodes; i++ {
+		name := fmt.Sprintf("node-%d", i)
+		n := &Node{
+			ID:    i,
+			in:    m.Net.NewLink(name+"/in", spec.NICBytesPerSec),
+			out:   m.Net.NewLink(name+"/out", spec.NICBytesPerSec),
+			bus:   m.Net.NewLink(name+"/bus", spec.MemBusBytesPerSec),
+			Socks: e.NewResource("socks/"+name, spec.SocketDescriptors),
+			Mem:   e.NewResource("mem/"+name, spec.NodeMemBytes),
+			jobs:  make(map[string]struct{}),
+		}
+		m.Nodes = append(m.Nodes, n)
+	}
+	return m, nil
+}
+
+// Spec returns the machine specification.
+func (m *Machine) Spec() Spec { return m.SpecV }
+
+// Compute advances the process by refSeconds of Titan-equivalent compute.
+func (m *Machine) Compute(p *sim.Proc, refSeconds float64) error {
+	if refSeconds <= 0 {
+		return nil
+	}
+	return p.Sleep(refSeconds / m.SpecV.CPUSpeed)
+}
+
+// PlaceJob reserves count nodes for a job starting at firstNode, marking
+// them so node-sharing policy can be enforced. It returns the nodes.
+func (m *Machine) PlaceJob(job string, firstNode, count int) ([]*Node, error) {
+	if firstNode < 0 || firstNode+count > len(m.Nodes) {
+		return nil, fmt.Errorf("hpc: job %s wants nodes [%d,%d) of %d",
+			job, firstNode, firstNode+count, len(m.Nodes))
+	}
+	nodes := m.Nodes[firstNode : firstNode+count]
+	for _, n := range nodes {
+		if len(n.jobs) > 0 && !m.SpecV.AllowNodeSharing {
+			return nil, fmt.Errorf("hpc: %s does not allow multiple jobs per node (%s busy)",
+				m.SpecV.Name, n.Name())
+		}
+		n.jobs[job] = struct{}{}
+	}
+	return nodes, nil
+}
+
+// Alloc reserves bytes of main memory on the node for the named component,
+// recording it in the memory tracker. It fails with ErrOutOfNodeMemory if
+// the node has no room — the "out of main memory" abort of Table IV.
+func (m *Machine) Alloc(node *Node, component, kind string, bytes int64) error {
+	if bytes <= 0 {
+		return nil
+	}
+	if err := node.Mem.TryAcquire(bytes); err != nil {
+		return fmt.Errorf("%w: %s wants %d on %s (%d of %d in use)",
+			ErrOutOfNodeMemory, component, bytes, node.Name(), node.Mem.Used(), node.Mem.Capacity())
+	}
+	m.Mem.Alloc(component, kind, bytes)
+	return nil
+}
+
+// Free releases a prior Alloc.
+func (m *Machine) Free(node *Node, component, kind string, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	node.Mem.Release(bytes)
+	m.Mem.Free(component, kind, bytes)
+}

@@ -1,0 +1,216 @@
+package hpc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	if err := Titan().Validate(); err != nil {
+		t.Fatalf("Titan spec: %v", err)
+	}
+	if err := Cori().Validate(); err != nil {
+		t.Fatalf("Cori spec: %v", err)
+	}
+}
+
+func TestPresetRatios(t *testing.T) {
+	titan, cori := Titan(), Cori()
+	// The paper quotes Cori's CPU frequency as 63.6% of Titan's.
+	if math.Abs(cori.CPUSpeed-0.636) > 0.001 {
+		t.Fatalf("Cori CPU speed = %v, want ~0.636", cori.CPUSpeed)
+	}
+	if cori.NICBytesPerSec/titan.NICBytesPerSec < 2.8 {
+		t.Fatalf("Aries/Gemini bandwidth ratio = %v, want ~2.84",
+			cori.NICBytesPerSec/titan.NICBytesPerSec)
+	}
+	if titan.Lustre.MDSCount != 4 || cori.Lustre.MDSCount != 1 {
+		t.Fatal("MDS counts: Titan wants 4, Cori wants 1")
+	}
+	if titan.DRC != nil {
+		t.Fatal("Titan must not have a DRC service")
+	}
+	if cori.DRC == nil {
+		t.Fatal("Cori must have a DRC service")
+	}
+	if titan.AllowNodeSharing {
+		t.Fatal("Titan must not allow node sharing (Finding 5)")
+	}
+	if !cori.AllowNodeSharing {
+		t.Fatal("Cori must allow node sharing")
+	}
+}
+
+func TestComputeScalesWithCPUSpeed(t *testing.T) {
+	e := sim.NewEngine()
+	m, err := New(e, Cori(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var end sim.Time
+	e.Spawn("p", func(p *sim.Proc) error {
+		if err := m.Compute(p, 0.636); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-0.636/CoriCPUSpeed) > 1e-9 {
+		t.Fatalf("end = %v, want %v", end, 0.636/CoriCPUSpeed)
+	}
+}
+
+func TestPlaceJobNodeSharingPolicy(t *testing.T) {
+	e := sim.NewEngine()
+	titan, err := New(e, Titan(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := titan.PlaceJob("sim", 0, 2); err != nil {
+		t.Fatalf("first job: %v", err)
+	}
+	if _, err := titan.PlaceJob("analytics", 1, 2); err == nil {
+		t.Fatal("Titan must reject two jobs on one node")
+	}
+	if _, err := titan.PlaceJob("analytics", 2, 2); err != nil {
+		t.Fatalf("disjoint job: %v", err)
+	}
+
+	e2 := sim.NewEngine()
+	cori, err := New(e2, Cori(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cori.PlaceJob("sim", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cori.PlaceJob("analytics", 0, 2); err != nil {
+		t.Fatalf("Cori must allow node sharing: %v", err)
+	}
+}
+
+func TestAllocTracksAndFails(t *testing.T) {
+	e := sim.NewEngine()
+	spec := Titan()
+	m, err := New(e, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Nodes[0]
+	if err := m.Alloc(n, "server-0", "staging", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.Component("server-0").Current(); got != 1<<30 {
+		t.Fatalf("tracked = %d, want 1 GiB", got)
+	}
+	if err := m.Alloc(n, "server-0", "staging", spec.NodeMemBytes); !errors.Is(err, ErrOutOfNodeMemory) {
+		t.Fatalf("oversized alloc error = %v, want ErrOutOfNodeMemory", err)
+	}
+	m.Free(n, "server-0", "staging", 1<<30)
+	if got := n.Mem.Used(); got != 0 {
+		t.Fatalf("node mem used = %d after free", got)
+	}
+}
+
+func TestNodeTransferOverNICs(t *testing.T) {
+	e := sim.NewEngine()
+	m, err := New(e, Titan(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var end sim.Time
+	e.Spawn("sender", func(p *sim.Proc) error {
+		// 5.5 GB at 5.5 GB/s = 1 s across the two NICs.
+		if err := p.Transfer(m.Net, TitanNICBytesPerSec, m.Nodes[0].Out(), m.Nodes[1].In()); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-1) > 1e-6 {
+		t.Fatalf("end = %v, want 1", end)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := Titan()
+	bad.CoresPerNode = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	bad = Titan()
+	bad.CPUSpeed = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero CPU speed accepted")
+	}
+	bad = Titan()
+	bad.NICBytesPerSec = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero NIC accepted")
+	}
+	bad = Titan()
+	bad.SocketEff = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("socket efficiency > 1 accepted")
+	}
+	e := sim.NewEngine()
+	if _, err := New(e, Titan(), 0); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
+
+func TestPlaceJobBounds(t *testing.T) {
+	e := sim.NewEngine()
+	m, err := New(e, Titan(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PlaceJob("j", 1, 5); err == nil {
+		t.Fatal("out-of-range placement accepted")
+	}
+}
+
+func TestNodeFailFlag(t *testing.T) {
+	e := sim.NewEngine()
+	m, err := New(e, Titan(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Nodes[0]
+	if n.Failed() {
+		t.Fatal("fresh node failed")
+	}
+	n.Fail()
+	if !n.Failed() {
+		t.Fatal("Fail did not stick")
+	}
+}
+
+func TestComputeZeroIsFree(t *testing.T) {
+	e := sim.NewEngine()
+	m, err := New(e, Titan(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("p", func(p *sim.Proc) error {
+		if err := m.Compute(p, 0); err != nil {
+			return err
+		}
+		if p.Now() != 0 {
+			t.Errorf("zero compute advanced the clock to %v", p.Now())
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

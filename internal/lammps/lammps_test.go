@@ -1,0 +1,259 @@
+package lammps
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/imcstudy/imcstudy/internal/ndarray"
+)
+
+func TestLatticeInitialization(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := NewSim(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != cfg.Atoms {
+		t.Fatalf("N = %d, want %d", s.N(), cfg.Atoms)
+	}
+	wantEdge := math.Cbrt(float64(cfg.Atoms) / cfg.Density)
+	if math.Abs(s.BoxEdge()-wantEdge) > 1e-12 {
+		t.Fatalf("edge = %v, want %v", s.BoxEdge(), wantEdge)
+	}
+	// Net momentum must be ~0.
+	var px, py, pz float64
+	for i := 0; i < s.n; i++ {
+		px += s.vel[3*i]
+		py += s.vel[3*i+1]
+		pz += s.vel[3*i+2]
+	}
+	if math.Abs(px)+math.Abs(py)+math.Abs(pz) > 1e-9 {
+		t.Fatalf("net momentum = (%v,%v,%v)", px, py, pz)
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Atoms = 64
+	cfg.Dt = 0.001 // small step for tight conservation
+	s, err := NewSim(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := s.TotalEnergy()
+	for i := 0; i < 200; i++ {
+		s.Step()
+	}
+	e1 := s.TotalEnergy()
+	drift := math.Abs(e1-e0) / math.Abs(e0)
+	if drift > 0.02 {
+		t.Fatalf("energy drift = %.4f (E0=%v E1=%v), want < 2%%", drift, e0, e1)
+	}
+}
+
+func TestMeltingIncreasesMSD(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Atoms = 64
+	s, err := NewSim(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refX := make([]float64, s.n)
+	refY := make([]float64, s.n)
+	refZ := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		refX[i], refY[i], refZ[i] = s.pos[3*i], s.pos[3*i+1], s.pos[3*i+2]
+	}
+	var prev float64
+	for out := 0; out < 4; out++ {
+		s.Advance()
+		msd := s.MSDOf(refX, refY, refZ)
+		if msd <= prev {
+			t.Fatalf("MSD not increasing at output %d: %v <= %v", out, msd, prev)
+		}
+		prev = msd
+	}
+}
+
+func TestSnapshotMSDMatchesDirect(t *testing.T) {
+	// The MSD computed from staged snapshot blocks must equal the value
+	// the simulation computes directly from its own trajectory.
+	cfg := DefaultConfig()
+	cfg.Atoms = 27
+	const nprocs = 2
+	sims := make([]*Sim, nprocs)
+	for r := range sims {
+		s, err := NewSim(cfg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims[r] = s
+	}
+	analytics := NewMSD(nprocs, cfg.Atoms)
+	readerBox := ReaderBox(nprocs, 1, 0, cfg.Atoms)
+
+	// Reference snapshot (step 0).
+	var refs [][3][]float64
+	gather := func() ndarray.Block {
+		var blocks []ndarray.Block
+		for r, s := range sims {
+			blk, err := s.Snapshot(nprocs, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocks = append(blocks, blk)
+		}
+		out, err := ndarray.Assemble(readerBox, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	for _, s := range sims {
+		var ref [3][]float64
+		for d := 0; d < 3; d++ {
+			ref[d] = make([]float64, s.n)
+		}
+		for i := 0; i < s.n; i++ {
+			ref[0][i], ref[1][i], ref[2][i] = s.pos[3*i], s.pos[3*i+1], s.pos[3*i+2]
+		}
+		refs = append(refs, ref)
+	}
+	if _, err := analytics.Consume(gather()); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		for _, s := range sims {
+			s.Advance()
+		}
+		got, err := analytics.Consume(gather())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		for r, s := range sims {
+			want += s.MSDOf(refs[r][0], refs[r][1], refs[r][2])
+		}
+		want /= nprocs
+		if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+			t.Fatalf("step %d: staged MSD %v != direct %v", step, got, want)
+		}
+	}
+}
+
+func TestBoxLayouts(t *testing.T) {
+	g := GlobalBox(32, PaperAtomsPerRank)
+	if g.Bytes() != 5*32*512000*8 {
+		t.Fatalf("global bytes = %d", g.Bytes())
+	}
+	w := WriterBox(32, 7, PaperAtomsPerRank)
+	if w.Lo[1] != 7 || w.Hi[1] != 8 {
+		t.Fatalf("writer box = %s", w)
+	}
+	if w.Bytes() != 20480000 { // ~20 MB/processor, Table II
+		t.Fatalf("writer bytes = %d, want 20480000", w.Bytes())
+	}
+	// Reader boxes tile the rank dimension exactly.
+	covered := uint64(0)
+	for r := 0; r < 3; r++ {
+		b := ReaderBox(32, 3, r, PaperAtomsPerRank)
+		covered += b.Hi[1] - b.Lo[1]
+	}
+	if covered != 32 {
+		t.Fatalf("reader boxes cover %d ranks, want 32", covered)
+	}
+}
+
+func TestCalibratedCosts(t *testing.T) {
+	if got := SimSecondsPerOutput(); math.Abs(got-10.24) > 1e-9 {
+		t.Fatalf("SimSecondsPerOutput = %v, want 10.24", got)
+	}
+	if got := MSDSecondsPerOutput(1024000); math.Abs(got-0.1024) > 1e-9 {
+		t.Fatalf("MSDSecondsPerOutput = %v", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewSim(Config{}, 0); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+// Property: MSD computed from an assembled multi-rank snapshot equals the
+// atom-count-weighted average of per-rank MSDs for arbitrary seeds.
+func TestMSDCompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.Atoms = 8
+		cfg.StepsPerOutput = rng.Intn(5) + 1
+		cfg.Seed = seed
+		const nprocs = 2
+		sims := make([]*Sim, nprocs)
+		for r := range sims {
+			s, err := NewSim(cfg, r)
+			if err != nil {
+				return false
+			}
+			sims[r] = s
+		}
+		analytics := NewMSD(nprocs, cfg.Atoms)
+		gather := func() (ndarray.Block, bool) {
+			var blocks []ndarray.Block
+			for r, s := range sims {
+				blk, err := s.Snapshot(nprocs, r)
+				if err != nil {
+					return ndarray.Block{}, false
+				}
+				blocks = append(blocks, blk)
+			}
+			out, err := ndarray.Assemble(ReaderBox(nprocs, 1, 0, cfg.Atoms), blocks)
+			if err != nil {
+				return ndarray.Block{}, false
+			}
+			return out, true
+		}
+		refs := make([][3][]float64, nprocs)
+		for r, s := range sims {
+			for d := 0; d < 3; d++ {
+				refs[r][d] = make([]float64, s.N())
+			}
+			for i := 0; i < s.N(); i++ {
+				refs[r][0][i], refs[r][1][i], refs[r][2][i] = s.pos[3*i], s.pos[3*i+1], s.pos[3*i+2]
+			}
+		}
+		blk, ok := gather()
+		if !ok {
+			return false
+		}
+		if _, err := analytics.Consume(blk); err != nil {
+			return false
+		}
+		for _, s := range sims {
+			s.Advance()
+		}
+		blk, ok = gather()
+		if !ok {
+			return false
+		}
+		got, err := analytics.Consume(blk)
+		if err != nil {
+			return false
+		}
+		var want float64
+		for r, s := range sims {
+			want += s.MSDOf(refs[r][0], refs[r][1], refs[r][2])
+		}
+		want /= nprocs
+		return math.Abs(got-want) <= 1e-12*math.Max(1, math.Abs(want))
+	}
+	cfg := &quick.Config{MaxCount: 30, Values: func(v []reflect.Value, r *rand.Rand) {
+		v[0] = reflect.ValueOf(r.Int63())
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

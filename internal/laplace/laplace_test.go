@@ -1,0 +1,202 @@
+package laplace
+
+import (
+	"math"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/ndarray"
+)
+
+func TestConvergesToHarmonicSolution(t *testing.T) {
+	// With boundary u = x + y (harmonic), the converged interior must be
+	// x + y everywhere.
+	cfg := Config{Rows: 16, Cols: 16, ItersPerOutput: 10}
+	s, err := NewSim(cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := s.SolveToTolerance(1e-12, 20000)
+	if iters >= 20000 {
+		t.Fatal("did not converge")
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		for j := 0; j < cfg.Cols; j++ {
+			x, y := s.globalXY(i+1, j+1)
+			want := x + y
+			if math.Abs(s.Value(i, j)-want) > 1e-9 {
+				t.Fatalf("u(%d,%d) = %v, want %v", i, j, s.Value(i, j), want)
+			}
+		}
+	}
+}
+
+func TestResidualDecreases(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Boundary = func(x, y float64) float64 { return math.Sin(math.Pi*x) * math.Exp(y) }
+	s, err := NewSim(cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := s.Advance()
+	r2 := s.Advance()
+	if r2 >= r1 {
+		t.Fatalf("residual did not decrease: %v -> %v", r1, r2)
+	}
+}
+
+func TestSnapshotPlacesSlabCorrectly(t *testing.T) {
+	cfg := Config{Rows: 4, Cols: 4, ItersPerOutput: 1}
+	s, err := NewSim(cfg, 4, 2) // rank 2 of 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.Box.Lo[1] != 8 || blk.Box.Hi[1] != 12 {
+		t.Fatalf("slab box = %s, want columns [8,12)", blk.Box)
+	}
+	if blk.Box.Lo[0] != 0 || blk.Box.Hi[0] != 4 {
+		t.Fatalf("slab box = %s, want rows [0,4)", blk.Box)
+	}
+	// Values in the snapshot equal the solver's interior.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if blk.Data[i*4+j] != s.Value(i, j) {
+				t.Fatalf("snapshot (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestMomentsOf(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	m := MomentsOf(vals)
+	if math.Abs(m[0]-2.5) > 1e-12 {
+		t.Fatalf("mean = %v", m[0])
+	}
+	// Variance of {1,2,3,4} = 1.25; third central moment = 0 (symmetry);
+	// fourth = (1.5^4 + 0.5^4)*2/4 = 2.5625.
+	if math.Abs(m[1]-1.25) > 1e-12 {
+		t.Fatalf("m2 = %v, want 1.25", m[1])
+	}
+	if math.Abs(m[2]) > 1e-12 {
+		t.Fatalf("m3 = %v, want 0", m[2])
+	}
+	if math.Abs(m[3]-2.5625) > 1e-12 {
+		t.Fatalf("m4 = %v, want 2.5625", m[3])
+	}
+	empty := MomentsOf(nil)
+	if empty[0] != 0 {
+		t.Fatal("moments of empty slice must be zero")
+	}
+}
+
+func TestMTAOnAssembledSlabMatchesDirect(t *testing.T) {
+	cfg := Config{Rows: 8, Cols: 8, ItersPerOutput: 25}
+	cfg.Boundary = func(x, y float64) float64 { return x*x - y*y } // harmonic
+	const nprocs = 3
+	sims := make([]*Sim, nprocs)
+	for r := range sims {
+		s, err := NewSim(cfg, nprocs, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims[r] = s
+	}
+	for _, s := range sims {
+		s.Advance()
+	}
+	var blocks []ndarray.Block
+	var direct []float64
+	for _, s := range sims {
+		blk, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, blk)
+	}
+	// Direct values in global row-major order over the full field.
+	full := GlobalBox(nprocs, cfg.Rows, cfg.Cols)
+	assembled, err := ndarray.Assemble(full, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		for r := 0; r < nprocs; r++ {
+			for j := 0; j < cfg.Cols; j++ {
+				direct = append(direct, sims[r].Value(i, j))
+			}
+		}
+	}
+	var mta MTA
+	got, err := mta.Consume(assembled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MomentsOf(direct)
+	for k := range got {
+		if math.Abs(got[k]-want[k]) > 1e-12*math.Max(1, math.Abs(want[k])) {
+			t.Fatalf("moment %d: staged %v != direct %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestBoxLayouts(t *testing.T) {
+	w := WriterBox(64, 3, PaperRows, PaperCols)
+	if w.Bytes() != 4096*4096*8 {
+		t.Fatalf("writer bytes = %d, want 128 MiB", w.Bytes())
+	}
+	covered := uint64(0)
+	for r := 0; r < 5; r++ {
+		b := ReaderBox(64, 5, r, PaperRows, PaperCols)
+		covered += (b.Hi[1] - b.Lo[1]) / PaperCols
+	}
+	if covered != 64 {
+		t.Fatalf("reader boxes cover %d ranks, want 64", covered)
+	}
+	// The scaled dimension (1) is the longest: staging layout matches.
+	g := GlobalBox(64, PaperRows, PaperCols)
+	if ndarray.LongestDim(g) != 1 {
+		t.Fatalf("longest dim = %d, want 1", ndarray.LongestDim(g))
+	}
+}
+
+func TestCalibratedCosts(t *testing.T) {
+	want := 50.0 * 4096 * 4096 * 6e-9
+	if got := SimSecondsPerOutput(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SimSecondsPerOutput = %v, want %v", got, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewSim(Config{}, 1, 0); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestCustomBoundaryHarmonic(t *testing.T) {
+	// u = x^2 - y^2 is harmonic: the solver must converge to it.
+	cfg := Config{Rows: 12, Cols: 12, ItersPerOutput: 10}
+	cfg.Boundary = func(x, y float64) float64 { return x*x - y*y }
+	s, err := NewSim(cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SolveToTolerance(1e-13, 50000)
+	maxErr := 0.0
+	for i := 0; i < cfg.Rows; i++ {
+		for j := 0; j < cfg.Cols; j++ {
+			x, y := s.globalXY(i+1, j+1)
+			if d := math.Abs(s.Value(i, j) - (x*x - y*y)); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	// The 5-point stencil is exact for quadratics, so only the iteration
+	// tolerance remains.
+	if maxErr > 1e-8 {
+		t.Fatalf("max error vs x^2-y^2 = %v", maxErr)
+	}
+}

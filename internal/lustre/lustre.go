@@ -1,0 +1,154 @@
+// Package lustre models a Lustre parallel filesystem: an object-storage
+// pool with bounded aggregate bandwidth, metadata servers with bounded
+// operation throughput, and stripe-aware writes. It is the
+// persistent-storage substrate behind the paper's MPI-IO baseline: the
+// fixed OST pool and the scarce metadata servers (four on Titan, one on
+// Cori) are what make MPI-IO's end-to-end time grow linearly with the
+// processor count in Figure 2.
+//
+// The OST pool is one aggregate bandwidth link; an individual write is
+// additionally capped at (stripes touched) x (per-OST bandwidth), so a
+// small file cannot use the whole pool while thousands of concurrent
+// writers share it fairly.
+package lustre
+
+import (
+	"fmt"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// Spec describes a Lustre deployment.
+type Spec struct {
+	// OSTs is the number of object storage targets.
+	OSTs int
+	// OSTBytesPerSec is the raw bandwidth of one OST.
+	OSTBytesPerSec float64
+	// SharedFileEff derates bandwidth for N-to-1 shared-file writes
+	// (extent-lock contention); 1.0 means no derating.
+	SharedFileEff float64
+	// MDSCount is the number of metadata servers.
+	MDSCount int
+	// MDSOpsPerSec is the operation throughput of one metadata server.
+	MDSOpsPerSec float64
+	// DefaultStripeCount is the stripe count applied when a write passes 0;
+	// -1 means stripe over all OSTs (lfs setstripe -c -1).
+	DefaultStripeCount int
+	// StripeSize is the stripe width in bytes.
+	StripeSize int64
+}
+
+// Validate checks the spec for usable values.
+func (s Spec) Validate() error {
+	if s.OSTs <= 0 {
+		return fmt.Errorf("lustre: %d OSTs", s.OSTs)
+	}
+	if s.OSTBytesPerSec <= 0 {
+		return fmt.Errorf("lustre: OST bandwidth %f", s.OSTBytesPerSec)
+	}
+	if s.MDSCount <= 0 {
+		return fmt.Errorf("lustre: %d metadata servers", s.MDSCount)
+	}
+	if s.MDSOpsPerSec <= 0 {
+		return fmt.Errorf("lustre: MDS rate %f", s.MDSOpsPerSec)
+	}
+	if s.SharedFileEff <= 0 || s.SharedFileEff > 1 {
+		return fmt.Errorf("lustre: shared-file efficiency %f", s.SharedFileEff)
+	}
+	if s.StripeSize <= 0 {
+		return fmt.Errorf("lustre: stripe size %d", s.StripeSize)
+	}
+	return nil
+}
+
+// FS is a running filesystem instance bound to a simulation engine.
+type FS struct {
+	spec Spec
+	e    *sim.Engine
+	net  *sim.Net
+	pool *sim.Link
+	mds  *sim.Resource
+
+	metaOps int64
+}
+
+// New creates a filesystem whose OST pool lives on the given network (so
+// storage flows share the fabric model with everything else).
+func New(e *sim.Engine, net *sim.Net, spec Spec) (*FS, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &FS{
+		spec: spec,
+		e:    e,
+		net:  net,
+		pool: net.NewLink("lustre-pool", float64(spec.OSTs)*spec.OSTBytesPerSec),
+		mds:  e.NewResource("lustre-mds", int64(spec.MDSCount)),
+	}, nil
+}
+
+// Spec returns the filesystem configuration.
+func (fs *FS) Spec() Spec { return fs.spec }
+
+// MetaOps returns the number of metadata operations served.
+func (fs *FS) MetaOps() int64 { return fs.metaOps }
+
+// MetaOp performs one metadata operation (open, create, stat): the caller
+// queues on a metadata server and holds it for one service interval. With
+// a single MDS (Cori) this is the serialization point for N parallel
+// opens.
+func (fs *FS) MetaOp(p *sim.Proc) error {
+	if err := p.Acquire(fs.mds, 1); err != nil {
+		return err
+	}
+	defer fs.mds.Release(1)
+	fs.metaOps++
+	return p.Sleep(1 / fs.spec.MDSOpsPerSec)
+}
+
+// Write stores bytes striped over stripeCount OSTs (0 = default, -1 =
+// all). The flow shares the aggregate pool with all concurrent I/O and is
+// capped at the bandwidth of the stripes it actually touches. shared
+// derates throughput by SharedFileEff for N-writers-one-file extent-lock
+// contention. extra links (e.g. the writer's NIC) are traversed too.
+func (fs *FS) Write(p *sim.Proc, offset, bytes int64, stripeCount int, shared bool, extra ...*sim.Link) error {
+	if bytes <= 0 {
+		return nil
+	}
+	if stripeCount == 0 {
+		stripeCount = fs.spec.DefaultStripeCount
+	}
+	if stripeCount < 0 || stripeCount > fs.spec.OSTs {
+		stripeCount = fs.spec.OSTs
+	}
+	touched := int((bytes + fs.spec.StripeSize - 1) / fs.spec.StripeSize)
+	if touched > stripeCount {
+		touched = stripeCount
+	}
+	if touched < 1 {
+		touched = 1
+	}
+	eff := 1.0
+	if shared {
+		eff = fs.spec.SharedFileEff
+	}
+	// The wire carries bytes/eff (lock-contention overhead), bounded by
+	// the raw bandwidth of the stripes touched, so the effective data rate
+	// alone is touched x OSTBW x eff and the pool aggregate is derated the
+	// same way under contention.
+	rateCap := float64(touched) * fs.spec.OSTBytesPerSec
+	links := append([]*sim.Link{fs.pool}, extra...)
+	ev := fs.net.StartFlowCapped(float64(bytes)/eff, rateCap, links...)
+	_, err := p.Wait(ev)
+	return err
+}
+
+// Read retrieves bytes with the same striping model as Write.
+func (fs *FS) Read(p *sim.Proc, offset, bytes int64, stripeCount int, extra ...*sim.Link) error {
+	return fs.Write(p, offset, bytes, stripeCount, false, extra...)
+}
+
+// AggregateBytesPerSec returns the peak aggregate bandwidth of the pool.
+func (fs *FS) AggregateBytesPerSec() float64 {
+	return float64(fs.spec.OSTs) * fs.spec.OSTBytesPerSec
+}

@@ -1,0 +1,235 @@
+package lustre
+
+import (
+	"math"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+func testSpec() Spec {
+	return Spec{
+		OSTs:               4,
+		OSTBytesPerSec:     100,
+		SharedFileEff:      0.5,
+		MDSCount:           1,
+		MDSOpsPerSec:       10,
+		DefaultStripeCount: -1,
+		StripeSize:         100, // bytes, so touched = ceil(bytes/100)
+	}
+}
+
+func newFS(t *testing.T) (*sim.Engine, *FS) {
+	t.Helper()
+	e := sim.NewEngine()
+	fs, err := New(e, e.NewNet(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, fs
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := testSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := testSpec()
+	bad.OSTs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero OSTs accepted")
+	}
+	bad = testSpec()
+	bad.SharedFileEff = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("efficiency > 1 accepted")
+	}
+}
+
+func TestWriteUsesTouchedStripesOnly(t *testing.T) {
+	e, fs := newFS(t)
+	var end sim.Time
+	e.Spawn("writer", func(p *sim.Proc) error {
+		// 200 bytes = 2 stripes touched: capped at 200 B/s despite a
+		// 400 B/s pool -> 1 s.
+		if err := fs.Write(p, 0, 200, -1, false); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-1) > 1e-6 {
+		t.Fatalf("end = %v, want 1", end)
+	}
+}
+
+func TestLargeWriteUsesFullPool(t *testing.T) {
+	e, fs := newFS(t)
+	var end sim.Time
+	e.Spawn("writer", func(p *sim.Proc) error {
+		// 4000 bytes touch >= 4 stripes: full 400 B/s pool -> 10 s.
+		if err := fs.Write(p, 0, 4000, -1, false); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-10) > 1e-6 {
+		t.Fatalf("end = %v, want 10", end)
+	}
+}
+
+func TestSharedWriteDerated(t *testing.T) {
+	e, fs := newFS(t)
+	var end sim.Time
+	e.Spawn("writer", func(p *sim.Proc) error {
+		// Shared mode at eff 0.5 doubles the time: 20 s.
+		if err := fs.Write(p, 0, 4000, -1, true); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-20) > 1e-6 {
+		t.Fatalf("end = %v, want 20", end)
+	}
+}
+
+func TestAggregateBandwidthBoundsManyWriters(t *testing.T) {
+	e, fs := newFS(t)
+	const writers = 16
+	var latest sim.Time
+	for i := 0; i < writers; i++ {
+		e.Spawn("w", func(p *sim.Proc) error {
+			if err := fs.Write(p, 0, 400, -1, false); err != nil {
+				return err
+			}
+			if p.Now() > latest {
+				latest = p.Now()
+			}
+			return nil
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 6400 bytes over the 400 B/s pool -> 16 s: time grows linearly with
+	// writer count at fixed per-writer output (the MPI-IO trend of Fig 2).
+	if math.Abs(latest-16) > 1e-6 {
+		t.Fatalf("latest = %v, want 16", latest)
+	}
+}
+
+func TestMDSSerializesMetadataOps(t *testing.T) {
+	e, fs := newFS(t)
+	const opens = 5
+	var latest sim.Time
+	for i := 0; i < opens; i++ {
+		e.Spawn("opener", func(p *sim.Proc) error {
+			if err := fs.MetaOp(p); err != nil {
+				return err
+			}
+			if p.Now() > latest {
+				latest = p.Now()
+			}
+			return nil
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 5 ops through 1 MDS at 10 ops/s -> 0.5 s.
+	if math.Abs(latest-0.5) > 1e-6 {
+		t.Fatalf("latest = %v, want 0.5", latest)
+	}
+	if fs.MetaOps() != opens {
+		t.Fatalf("MetaOps = %d, want %d", fs.MetaOps(), opens)
+	}
+}
+
+func TestStripeCountOneCapsRate(t *testing.T) {
+	e, fs := newFS(t)
+	var end sim.Time
+	e.Spawn("writer", func(p *sim.Proc) error {
+		if err := fs.Write(p, 0, 400, 1, false); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-4) > 1e-6 {
+		t.Fatalf("end = %v, want 4 (one stripe at 100 B/s)", end)
+	}
+}
+
+func TestAggregateBytesPerSec(t *testing.T) {
+	_, fs := newFS(t)
+	if got := fs.AggregateBytesPerSec(); got != 400 {
+		t.Fatalf("AggregateBytesPerSec = %v, want 400", got)
+	}
+}
+
+func TestWriteZeroBytesIsFree(t *testing.T) {
+	e, fs := newFS(t)
+	e.Spawn("p", func(p *sim.Proc) error {
+		if err := fs.Write(p, 0, 0, -1, false); err != nil {
+			return err
+		}
+		if p.Now() != 0 {
+			t.Errorf("zero write advanced clock to %v", p.Now())
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultStripeCountApplied(t *testing.T) {
+	e, fs := newFS(t)
+	var end sim.Time
+	e.Spawn("p", func(p *sim.Proc) error {
+		// stripeCount 0 -> default (-1 = all OSTs): 4000 B at 400 B/s.
+		if err := fs.Write(p, 0, 4000, 0, false); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-10) > 1e-6 {
+		t.Fatalf("end = %v, want 10", end)
+	}
+}
+
+func TestReadUsesFullBandwidth(t *testing.T) {
+	e, fs := newFS(t)
+	var end sim.Time
+	e.Spawn("p", func(p *sim.Proc) error {
+		if err := fs.Read(p, 0, 4000, -1); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Reads are not derated by the shared-file factor.
+	if math.Abs(end-10) > 1e-6 {
+		t.Fatalf("read end = %v, want 10", end)
+	}
+}

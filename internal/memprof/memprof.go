@@ -1,0 +1,173 @@
+// Package memprof tracks simulated memory consumption per workflow
+// component over virtual time. It is the testbed's analogue of the
+// Valgrind massif profiles the paper uses for Figures 5, 6, 7 and 11:
+// every allocation a library model makes is recorded against a component
+// (a simulation rank, an analytics rank, a staging server) under a kind
+// ("compute", "staging", "index", "buffer", ...), producing time-series
+// and peak statistics.
+package memprof
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// Sample is one point of a component's memory time-series.
+type Sample struct {
+	T     sim.Time `json:"t"`
+	Bytes int64    `json:"bytes"`
+}
+
+// Component accumulates the memory usage of one workflow entity.
+type Component struct {
+	name       string
+	cur        int64
+	peak       int64
+	byKind     map[string]int64
+	peakByKind map[string]int64
+	samples    []Sample
+}
+
+// Name returns the component name.
+func (c *Component) Name() string { return c.name }
+
+// Current returns the bytes currently allocated.
+func (c *Component) Current() int64 { return c.cur }
+
+// Peak returns the maximum bytes ever allocated.
+func (c *Component) Peak() int64 { return c.peak }
+
+// PeakOf returns the peak bytes allocated under the given kind.
+func (c *Component) PeakOf(kind string) int64 { return c.peakByKind[kind] }
+
+// CurrentOf returns the bytes currently allocated under the given kind.
+func (c *Component) CurrentOf(kind string) int64 { return c.byKind[kind] }
+
+// Kinds returns the allocation kinds seen, sorted.
+func (c *Component) Kinds() []string {
+	kinds := make([]string, 0, len(c.peakByKind))
+	for k := range c.peakByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// Series returns a copy of the memory time-series.
+func (c *Component) Series() []Sample {
+	out := make([]Sample, len(c.samples))
+	copy(out, c.samples)
+	return out
+}
+
+// Tracker owns all components of one simulation run.
+type Tracker struct {
+	mu    sync.Mutex
+	e     *sim.Engine
+	comps map[string]*Component
+	order []string
+}
+
+// NewTracker returns a tracker sampling against the engine's clock.
+func NewTracker(e *sim.Engine) *Tracker {
+	return &Tracker{e: e, comps: make(map[string]*Component)}
+}
+
+// Component returns (creating if needed) the named component.
+func (t *Tracker) Component(name string) *Component {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.comps[name]
+	if !ok {
+		c = &Component{
+			name:       name,
+			byKind:     make(map[string]int64),
+			peakByKind: make(map[string]int64),
+		}
+		t.comps[name] = c
+		t.order = append(t.order, name)
+	}
+	return c
+}
+
+// Alloc records n bytes allocated by the component under kind.
+func (t *Tracker) Alloc(component, kind string, n int64) {
+	t.adjust(component, kind, n)
+}
+
+// Free records n bytes released by the component under kind.
+func (t *Tracker) Free(component, kind string, n int64) {
+	t.adjust(component, kind, -n)
+}
+
+func (t *Tracker) adjust(component, kind string, n int64) {
+	c := t.Component(component)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.cur += n
+	c.byKind[kind] += n
+	if c.cur < 0 {
+		c.cur = 0
+	}
+	if c.byKind[kind] < 0 {
+		c.byKind[kind] = 0
+	}
+	if c.cur > c.peak {
+		c.peak = c.cur
+	}
+	if c.byKind[kind] > c.peakByKind[kind] {
+		c.peakByKind[kind] = c.byKind[kind]
+	}
+	now := t.e.Now()
+	if len(c.samples) > 0 && c.samples[len(c.samples)-1].T == now {
+		c.samples[len(c.samples)-1].Bytes = c.cur
+	} else {
+		c.samples = append(c.samples, Sample{T: now, Bytes: c.cur})
+	}
+}
+
+// Components returns all components in creation order.
+func (t *Tracker) Components() []*Component {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Component, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, t.comps[name])
+	}
+	return out
+}
+
+// PeakMatching sums the peak usage of every component whose name has the
+// given prefix — e.g. PeakMatching("server") for total staging memory.
+func (t *Tracker) PeakMatching(prefix string) int64 {
+	var total int64
+	for _, c := range t.Components() {
+		if len(c.name) >= len(prefix) && c.name[:len(prefix)] == prefix {
+			total += c.peak
+		}
+	}
+	return total
+}
+
+// MaxPeakMatching returns the largest single-component peak under prefix.
+func (t *Tracker) MaxPeakMatching(prefix string) int64 {
+	var max int64
+	for _, c := range t.Components() {
+		if len(c.name) >= len(prefix) && c.name[:len(prefix)] == prefix && c.peak > max {
+			max = c.peak
+		}
+	}
+	return max
+}
+
+// String summarizes peaks for debugging.
+func (t *Tracker) String() string {
+	s := ""
+	for _, c := range t.Components() {
+		s += fmt.Sprintf("%s: peak %d\n", c.name, c.peak)
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package memprof
+
+import (
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+func TestTrackerPeaksAndSeries(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracker(e)
+	e.Spawn("worker", func(p *sim.Proc) error {
+		tr.Alloc("sim-0", "compute", 100)
+		if err := p.Sleep(1); err != nil {
+			return err
+		}
+		tr.Alloc("sim-0", "staging", 250)
+		if err := p.Sleep(1); err != nil {
+			return err
+		}
+		tr.Free("sim-0", "staging", 250)
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	c := tr.Component("sim-0")
+	if c.Peak() != 350 {
+		t.Fatalf("Peak = %d, want 350", c.Peak())
+	}
+	if c.Current() != 100 {
+		t.Fatalf("Current = %d, want 100", c.Current())
+	}
+	if c.PeakOf("staging") != 250 {
+		t.Fatalf("PeakOf(staging) = %d, want 250", c.PeakOf("staging"))
+	}
+	series := c.Series()
+	if len(series) != 3 {
+		t.Fatalf("series length = %d, want 3", len(series))
+	}
+	if series[1].T != 1 || series[1].Bytes != 350 {
+		t.Fatalf("series[1] = %+v, want {1 350}", series[1])
+	}
+}
+
+func TestPeakMatching(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracker(e)
+	tr.Alloc("server-0", "staging", 100)
+	tr.Alloc("server-1", "staging", 300)
+	tr.Alloc("sim-0", "compute", 999)
+	if got := tr.PeakMatching("server"); got != 400 {
+		t.Fatalf("PeakMatching(server) = %d, want 400", got)
+	}
+	if got := tr.MaxPeakMatching("server"); got != 300 {
+		t.Fatalf("MaxPeakMatching(server) = %d, want 300", got)
+	}
+}
+
+func TestFreeBelowZeroClamps(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracker(e)
+	tr.Free("c", "k", 50)
+	if got := tr.Component("c").Current(); got != 0 {
+		t.Fatalf("Current = %d, want 0", got)
+	}
+}
+
+func TestKindsSortedAndString(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracker(e)
+	tr.Alloc("c", "zeta", 10)
+	tr.Alloc("c", "alpha", 10)
+	kinds := tr.Component("c").Kinds()
+	if len(kinds) != 2 || kinds[0] != "alpha" || kinds[1] != "zeta" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if tr.String() == "" {
+		t.Fatal("String empty")
+	}
+	if tr.Component("c").CurrentOf("alpha") != 10 {
+		t.Fatal("CurrentOf wrong")
+	}
+}
+
+func TestSameInstantSamplesCoalesce(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracker(e)
+	tr.Alloc("c", "k", 1)
+	tr.Alloc("c", "k", 2)
+	tr.Alloc("c", "k", 3)
+	series := tr.Component("c").Series()
+	if len(series) != 1 || series[0].Bytes != 6 {
+		t.Fatalf("series = %+v, want one coalesced sample of 6", series)
+	}
+}

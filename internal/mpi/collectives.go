@@ -1,0 +1,209 @@
+package mpi
+
+import (
+	"fmt"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// Internal tags for collective operations; user tags share the space, so
+// they are kept far away from small user-chosen values.
+const (
+	tagBarrierUp = -1000 - iota
+	tagBarrierDown
+	tagBcast
+	tagGather
+	tagReduce
+	tagAlltoall
+	tagScatter
+)
+
+// Barrier blocks until every rank of the communicator has entered it
+// (central gather-and-release through rank 0).
+func (r *Rank) Barrier(p *sim.Proc) error {
+	n := r.c.Size()
+	if n == 1 {
+		return nil
+	}
+	if r.id == 0 {
+		for i := 1; i < n; i++ {
+			if _, err := r.Recv(p, AnySource, tagBarrierUp); err != nil {
+				return err
+			}
+		}
+		for i := 1; i < n; i++ {
+			if err := r.Send(p, i, tagBarrierDown, 0, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := r.Send(p, 0, tagBarrierUp, 0, nil); err != nil {
+		return err
+	}
+	_, err := r.Recv(p, 0, tagBarrierDown)
+	return err
+}
+
+// Bcast distributes root's payload to every rank and returns the local
+// copy of it.
+func (r *Rank) Bcast(p *sim.Proc, root int, bytes int64, payload any) (any, error) {
+	if r.id == root {
+		for i := 0; i < r.c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			if err := r.Send(p, i, tagBcast, bytes, payload); err != nil {
+				return nil, err
+			}
+		}
+		return payload, nil
+	}
+	msg, err := r.Recv(p, root, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Payload, nil
+}
+
+// Gather collects every rank's payload at root, ordered by rank. Non-root
+// ranks return nil.
+func (r *Rank) Gather(p *sim.Proc, root int, bytes int64, payload any) ([]any, error) {
+	if r.id != root {
+		return nil, r.Send(p, root, tagGather, bytes, payload)
+	}
+	out := make([]any, r.c.Size())
+	out[root] = payload
+	for i := 1; i < r.c.Size(); i++ {
+		msg, err := r.Recv(p, AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[msg.Src] = msg.Payload
+	}
+	return out, nil
+}
+
+// AllreduceSum sums a float64 slice across ranks (gather at rank 0,
+// reduce, broadcast) and returns the reduced slice on every rank.
+func (r *Rank) AllreduceSum(p *sim.Proc, vals []float64) ([]float64, error) {
+	bytes := int64(len(vals) * 8)
+	parts, err := r.Gather(p, 0, bytes, vals)
+	if err != nil {
+		return nil, err
+	}
+	var sum []float64
+	if r.id == 0 {
+		sum = make([]float64, len(vals))
+		for _, part := range parts {
+			v, ok := part.([]float64)
+			if !ok {
+				return nil, fmt.Errorf("mpi: allreduce payload %T", part)
+			}
+			if len(v) != len(sum) {
+				return nil, fmt.Errorf("mpi: allreduce length %d != %d", len(v), len(sum))
+			}
+			for i := range v {
+				sum[i] += v[i]
+			}
+		}
+	}
+	res, err := r.Bcast(p, 0, bytes, sum)
+	if err != nil {
+		return nil, err
+	}
+	out, ok := res.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("mpi: allreduce broadcast payload %T", res)
+	}
+	return out, nil
+}
+
+// Alltoallv sends sendParts[i] (with sendBytes[i] wire bytes) to rank i and
+// returns the parts received from every rank, indexed by source. Entries
+// with zero bytes and nil payload are skipped.
+func (r *Rank) Alltoallv(p *sim.Proc, sendBytes []int64, sendParts []any) ([]any, error) {
+	n := r.c.Size()
+	if len(sendBytes) != n || len(sendParts) != n {
+		return nil, fmt.Errorf("mpi: alltoallv wants %d parts, got %d/%d", n, len(sendBytes), len(sendParts))
+	}
+	recv := make([]any, n)
+	recv[r.id] = sendParts[r.id]
+	var events []*sim.Event
+	for i := 0; i < n; i++ {
+		if i == r.id {
+			continue
+		}
+		// Every pair exchanges a message (possibly empty) so the receive
+		// count below is deterministic.
+		ev, err := r.Isend(p, i, tagAlltoall, sendBytes[i], alltoallPart{src: r.id, payload: sendParts[i]})
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	for k := 0; k < n-1; k++ {
+		msg, err := r.Recv(p, AnySource, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		part := msg.Payload.(alltoallPart)
+		recv[part.src] = part.payload
+	}
+	return recv, p.WaitAll(events...)
+}
+
+type alltoallPart struct {
+	src     int
+	payload any
+}
+
+// Scatter distributes parts[i] (each of bytes wire bytes) from root to
+// rank i, returning the local part on every rank.
+func (r *Rank) Scatter(p *sim.Proc, root int, bytes int64, parts []any) (any, error) {
+	if r.id == root {
+		if len(parts) != r.c.Size() {
+			return nil, fmt.Errorf("mpi: scatter wants %d parts, got %d", r.c.Size(), len(parts))
+		}
+		for i := 0; i < r.c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			if err := r.Send(p, i, tagScatter, bytes, parts[i]); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	msg, err := r.Recv(p, root, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Payload, nil
+}
+
+// ReduceSum sums float64 slices at root (non-root ranks return nil).
+func (r *Rank) ReduceSum(p *sim.Proc, root int, vals []float64) ([]float64, error) {
+	bytes := int64(len(vals) * 8)
+	parts, err := r.Gather(p, root, bytes, vals)
+	if err != nil {
+		return nil, err
+	}
+	if r.id != root {
+		return nil, nil
+	}
+	sum := make([]float64, len(vals))
+	for _, part := range parts {
+		v, ok := part.([]float64)
+		if !ok {
+			return nil, fmt.Errorf("mpi: reduce payload %T", part)
+		}
+		if len(v) != len(sum) {
+			return nil, fmt.Errorf("mpi: reduce length %d != %d", len(v), len(sum))
+		}
+		for i := range v {
+			sum[i] += v[i]
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,84 @@
+package ndarray
+
+import "fmt"
+
+// SplitAlong partitions the box into n contiguous sub-boxes along the given
+// dimension. The first (extent mod n) parts get one extra slab, so the
+// parts always tile the box exactly. It returns an error if the dimension
+// extent is smaller than n.
+func SplitAlong(b Box, dim, n int) ([]Box, error) {
+	if dim < 0 || dim >= b.Rank() {
+		return nil, fmt.Errorf("ndarray: split dim %d out of range for rank %d", dim, b.Rank())
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("ndarray: split into %d parts", n)
+	}
+	extent := b.Hi[dim] - b.Lo[dim]
+	if extent < uint64(n) {
+		return nil, fmt.Errorf("ndarray: extent %d of dim %d smaller than %d parts", extent, dim, n)
+	}
+	base := extent / uint64(n)
+	rem := extent % uint64(n)
+	parts := make([]Box, 0, n)
+	lo := b.Lo[dim]
+	for i := 0; i < n; i++ {
+		size := base
+		if uint64(i) < rem {
+			size++
+		}
+		part := b.Clone()
+		part.Lo[dim] = lo
+		part.Hi[dim] = lo + size
+		parts = append(parts, part)
+		lo += size
+	}
+	return parts, nil
+}
+
+// LongestDim returns the index of the longest dimension of the box
+// (lowest index wins ties).
+func LongestDim(b Box) int {
+	best := 0
+	bestExtent := uint64(0)
+	for i := range b.Lo {
+		ext := b.Hi[i] - b.Lo[i]
+		if ext > bestExtent {
+			bestExtent = ext
+			best = i
+		}
+	}
+	return best
+}
+
+// CeilLog2 returns the smallest k with 2^k >= n (n >= 1).
+func CeilLog2(n int) int {
+	k := 0
+	for (1 << k) < n {
+		k++
+	}
+	return k
+}
+
+// StagingRegions reproduces the DataSpaces server-side domain
+// decomposition described in Section III-B4 of the paper: the global
+// domain is decomposed into 2^ceil(log2 nServers) regions along its
+// longest dimension, and regions are assigned to servers sequentially
+// (region i -> server i mod nServers). When the longest dimension is not
+// the dimension the application scales over, every writer's first
+// sub-region lands on the same server and access degenerates to N-to-1
+// (Figure 8a).
+func StagingRegions(global Box, nServers int) ([]Box, error) {
+	if nServers <= 0 {
+		return nil, fmt.Errorf("ndarray: %d staging servers", nServers)
+	}
+	regions := 1 << CeilLog2(nServers)
+	dim := LongestDim(global)
+	for uint64(regions) > global.Hi[dim]-global.Lo[dim] && regions > 1 {
+		regions >>= 1
+	}
+	return SplitAlong(global, dim, regions)
+}
+
+// RegionServer returns the server index owning region i of nRegions under
+// the sequential DataSpaces mapping.
+func RegionServer(i, nServers int) int { return i % nServers }

@@ -1,0 +1,134 @@
+package rdma
+
+import (
+	"fmt"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// DRCConfig describes a Dynamic RDMA Credentials service instance.
+type DRCConfig struct {
+	// RequestsPerSec is the service rate of one DRC server.
+	RequestsPerSec float64
+	// MaxPending is the deepest request queue one server survives; beyond
+	// it requests fail, which is how large workflows at (8192, 4096) on
+	// Cori failed to start (Section III-B1).
+	MaxPending int
+	// NodeInsecure, when true, lets multiple jobs on one node share a
+	// credential (the option required for shared-memory mode, Finding 5).
+	NodeInsecure bool
+	// Shards distributes the service over several servers (the paper's
+	// Table IV suggested resolve: "re-design the DRC service to be
+	// distributed"). 0 or 1 is the production single server.
+	Shards int
+}
+
+// shards returns the effective shard count.
+func (c DRCConfig) shards() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
+}
+
+// Credential is an RDMA access credential granted by the DRC service.
+type Credential struct {
+	JobID string
+	Node  string
+}
+
+// DRC is the credential service. One instance serves the whole machine,
+// possibly as several shards.
+type DRC struct {
+	cfg     DRCConfig
+	e       *sim.Engine
+	servers []*sim.Resource
+	pending []int
+	granted map[string]string // node -> job holding the node's credential
+
+	requests int64
+	failures int64
+}
+
+// NewDRC creates the service.
+func NewDRC(e *sim.Engine, cfg DRCConfig) (*DRC, error) {
+	if cfg.RequestsPerSec <= 0 {
+		return nil, fmt.Errorf("rdma: DRC rate %f", cfg.RequestsPerSec)
+	}
+	if cfg.MaxPending <= 0 {
+		return nil, fmt.Errorf("rdma: DRC max pending %d", cfg.MaxPending)
+	}
+	d := &DRC{
+		cfg:     cfg,
+		e:       e,
+		granted: make(map[string]string),
+		pending: make([]int, cfg.shards()),
+	}
+	for i := 0; i < cfg.shards(); i++ {
+		d.servers = append(d.servers, e.NewResource(fmt.Sprintf("drc-server-%d", i), 1))
+	}
+	return d, nil
+}
+
+// shardFor hashes a node name onto a shard.
+func (d *DRC) shardFor(node string) int {
+	h := uint64(14695981039346656037)
+	for _, c := range node {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return int(h % uint64(len(d.servers)))
+}
+
+// Config returns the service configuration.
+func (d *DRC) Config() DRCConfig { return d.cfg }
+
+// Requests returns the number of credential requests received.
+func (d *DRC) Requests() int64 { return d.requests }
+
+// Failures returns the number of rejected requests.
+func (d *DRC) Failures() int64 { return d.failures }
+
+// Acquire obtains a credential for jobID's process on node. It queues on
+// the single DRC server; if the queue is already at MaxPending the request
+// fails (ErrDRCOverload). If another job already holds the node's
+// credential and NodeInsecure is off, the request fails
+// (ErrDRCNodeSecure) — the restriction that forces DataSpaces onto
+// sockets in shared-memory mode (Figure 13).
+func (d *DRC) Acquire(p *sim.Proc, jobID, node string) (Credential, error) {
+	d.requests++
+	if holder, ok := d.granted[node]; ok && holder != jobID && !d.cfg.NodeInsecure {
+		d.failures++
+		return Credential{}, fmt.Errorf("%w: node %s held by job %s", ErrDRCNodeSecure, node, holder)
+	}
+	shard := d.shardFor(node)
+	if d.pending[shard] >= d.cfg.MaxPending {
+		d.failures++
+		return Credential{}, fmt.Errorf("%w: %d requests pending on shard %d (limit %d)",
+			ErrDRCOverload, d.pending[shard], shard, d.cfg.MaxPending)
+	}
+	// Claim the node for the job before queueing so a concurrent second
+	// job is denied deterministically.
+	if _, ok := d.granted[node]; !ok {
+		d.granted[node] = jobID
+	}
+	d.pending[shard]++
+	err := p.Acquire(d.servers[shard], 1)
+	if err != nil {
+		d.pending[shard]--
+		return Credential{}, err
+	}
+	sleepErr := p.Sleep(1 / d.cfg.RequestsPerSec)
+	d.servers[shard].Release(1)
+	d.pending[shard]--
+	if sleepErr != nil {
+		return Credential{}, sleepErr
+	}
+	return Credential{JobID: jobID, Node: node}, nil
+}
+
+// Release returns a node's credential (e.g. at job teardown).
+func (d *DRC) Release(cred Credential) {
+	if d.granted[cred.Node] == cred.JobID {
+		delete(d.granted, cred.Node)
+	}
+}

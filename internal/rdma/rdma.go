@@ -1,0 +1,190 @@
+// Package rdma models the RDMA substrate the staging libraries sit on:
+// per-node registered-memory accounting with hard capacity and handler
+// limits (Cray uGNI semantics — synchronous acquisition that fails rather
+// than blocks, Section III-B1 and Figure 4), protocol profiles for uGNI
+// and NNTI, and the Cray Dynamic RDMA Credentials (DRC) service whose
+// centralized design is overwhelmed by large parallel workflows
+// (Table IV, "out of DRC").
+package rdma
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// Errors surfaced by the RDMA model. They mirror the failure classes in
+// Table IV of the paper.
+var (
+	// ErrOutOfMemory reports RDMA registered-memory exhaustion on a node.
+	ErrOutOfMemory = errors.New("rdma: out of registered memory")
+	// ErrOutOfHandles reports RDMA memory-handler exhaustion on a node.
+	ErrOutOfHandles = errors.New("rdma: out of memory handlers")
+	// ErrDRCOverload reports an overwhelmed DRC credential service.
+	ErrDRCOverload = errors.New("rdma: DRC service overloaded")
+	// ErrDRCNodeSecure reports a second job on a node being denied a shared
+	// credential because the node-insecure option is disabled.
+	ErrDRCNodeSecure = errors.New("rdma: DRC denies shared credential on node (node-insecure disabled)")
+)
+
+// Protocol identifies an RDMA implementation profile.
+type Protocol int
+
+// Supported protocol profiles.
+const (
+	// ProtoUGNI is the Cray low-level uGNI interface (Gemini/Aries).
+	ProtoUGNI Protocol = iota + 1
+	// ProtoNNTI is the Sandia NNTI portability layer used by Flexpath.
+	ProtoNNTI
+	// ProtoVerbs is InfiniBand verbs.
+	ProtoVerbs
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoUGNI:
+		return "uGNI"
+	case ProtoNNTI:
+		return "NNTI"
+	case ProtoVerbs:
+		return "verbs"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// PeerMailboxesPerHandle is how many peer mailboxes share one registered
+// mailbox block. DART-style runtimes pre-register a small mailbox per
+// communicating peer; blocks of them share memory handlers. The value is
+// calibrated so that a staging server serving every client of a
+// (8192, 4096) run exhausts the 3,675 handlers of Figure 4 while a
+// (4096, 2048) run does not — the failure boundary of Section III-B1.
+const PeerMailboxesPerHandle = 3
+
+// Domain is the RDMA resource domain of one *process* (the Figure 4
+// probe measures what a single process can register: 1,843 MB and 3,675
+// memory handlers on Titan).
+type Domain struct {
+	node    string
+	mem     *sim.Resource
+	handles *sim.Resource
+
+	peerMailboxes  int64
+	mailboxHandles int64
+}
+
+// NewDomain creates a process-local RDMA domain with the given registered
+// memory capacity in bytes and maximum concurrent memory handlers.
+func NewDomain(e *sim.Engine, node string, capacityBytes, maxHandles int64) *Domain {
+	return &Domain{
+		node:    node,
+		mem:     e.NewResource("rdma-mem/"+node, capacityBytes),
+		handles: e.NewResource("rdma-handles/"+node, maxHandles),
+	}
+}
+
+// AddPeerMailboxes registers mailboxes for n new communication peers,
+// charging one memory handler per PeerMailboxesPerHandle peers. A large
+// enough peer set exhausts the handler budget (ErrOutOfHandles) — the
+// (8192, 4096) failure of Section III-B1.
+func (d *Domain) AddPeerMailboxes(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	newTotal := d.peerMailboxes + n
+	needed := (newTotal + PeerMailboxesPerHandle - 1) / PeerMailboxesPerHandle
+	if diff := needed - d.mailboxHandles; diff > 0 {
+		if err := d.handles.TryAcquire(diff); err != nil {
+			return fmt.Errorf("%w on %s: %d peer mailboxes need %d handlers (%d of %d in use)",
+				ErrOutOfHandles, d.node, newTotal, needed, d.handles.Used(), d.handles.Capacity())
+		}
+		d.mailboxHandles = needed
+	}
+	d.peerMailboxes = newTotal
+	return nil
+}
+
+// RemovePeerMailboxes returns mailboxes for n departed peers.
+func (d *Domain) RemovePeerMailboxes(n int64) {
+	d.peerMailboxes -= n
+	if d.peerMailboxes < 0 {
+		d.peerMailboxes = 0
+	}
+	needed := (d.peerMailboxes + PeerMailboxesPerHandle - 1) / PeerMailboxesPerHandle
+	if diff := d.mailboxHandles - needed; diff > 0 {
+		d.handles.Release(diff)
+		d.mailboxHandles = needed
+	}
+}
+
+// PeerMailboxes returns the registered peer count.
+func (d *Domain) PeerMailboxes() int64 { return d.peerMailboxes }
+
+// MemCapacity returns the registered-memory capacity in bytes.
+func (d *Domain) MemCapacity() int64 { return d.mem.Capacity() }
+
+// MemUsed returns the bytes currently registered.
+func (d *Domain) MemUsed() int64 { return d.mem.Used() }
+
+// HandlesUsed returns the handlers currently held.
+func (d *Domain) HandlesUsed() int64 { return d.handles.Used() }
+
+// HandleCapacity returns the maximum concurrent handlers.
+func (d *Domain) HandleCapacity() int64 { return d.handles.Capacity() }
+
+// Region is a registered RDMA memory region.
+type Region struct {
+	d     *Domain
+	bytes int64
+	freed bool
+}
+
+// Register synchronously acquires an RDMA memory region of the given size,
+// reproducing uGNI semantics: if the node is out of registered memory or
+// memory handlers the call fails immediately and, in the real libraries,
+// crashes the application. The caller owns the returned region until
+// Deregister.
+func (d *Domain) Register(bytes int64) (*Region, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("rdma: register %d bytes", bytes)
+	}
+	if err := d.handles.TryAcquire(1); err != nil {
+		return nil, fmt.Errorf("%w on %s: %d handlers in use of %d",
+			ErrOutOfHandles, d.node, d.handles.Used(), d.handles.Capacity())
+	}
+	if err := d.mem.TryAcquire(bytes); err != nil {
+		d.handles.Release(1)
+		return nil, fmt.Errorf("%w on %s: want %d, %d in use of %d",
+			ErrOutOfMemory, d.node, bytes, d.mem.Used(), d.mem.Capacity())
+	}
+	return &Region{d: d, bytes: bytes}, nil
+}
+
+// RegisterWait acquires a region, blocking until resources are available
+// instead of failing — the "wait and re-try" mitigation the paper suggests
+// in Table IV.
+func (d *Domain) RegisterWait(p *sim.Proc, bytes int64) (*Region, error) {
+	if err := p.Acquire(d.handles, 1); err != nil {
+		return nil, err
+	}
+	if err := p.Acquire(d.mem, bytes); err != nil {
+		d.handles.Release(1)
+		return nil, err
+	}
+	return &Region{d: d, bytes: bytes}, nil
+}
+
+// Bytes returns the region size.
+func (r *Region) Bytes() int64 { return r.bytes }
+
+// Deregister releases the region; releasing twice is a no-op.
+func (r *Region) Deregister() {
+	if r.freed {
+		return
+	}
+	r.freed = true
+	r.d.mem.Release(r.bytes)
+	r.d.handles.Release(1)
+}

@@ -1,0 +1,254 @@
+package rdma
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+func TestRegisterCapacityLimit(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDomain(e, "n0", 1000, 10)
+	r1, err := d.Register(600)
+	if err != nil {
+		t.Fatalf("Register(600): %v", err)
+	}
+	if _, err := d.Register(500); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("Register(500) error = %v, want ErrOutOfMemory", err)
+	}
+	if d.HandlesUsed() != 1 {
+		t.Fatalf("HandlesUsed = %d, want 1 (failed register must not leak a handle)", d.HandlesUsed())
+	}
+	r1.Deregister()
+	r1.Deregister() // double free is a no-op
+	if d.MemUsed() != 0 || d.HandlesUsed() != 0 {
+		t.Fatalf("after deregister: mem %d handles %d", d.MemUsed(), d.HandlesUsed())
+	}
+}
+
+func TestRegisterHandleLimit(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDomain(e, "n0", 1<<30, 3)
+	var regs []*Region
+	for i := 0; i < 3; i++ {
+		r, err := d.Register(1)
+		if err != nil {
+			t.Fatalf("Register %d: %v", i, err)
+		}
+		regs = append(regs, r)
+	}
+	if _, err := d.Register(1); !errors.Is(err, ErrOutOfHandles) {
+		t.Fatalf("4th register error = %v, want ErrOutOfHandles", err)
+	}
+	for _, r := range regs {
+		r.Deregister()
+	}
+}
+
+func TestRegisterWaitBlocks(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDomain(e, "n0", 100, 10)
+	var acquiredAt sim.Time
+	e.Spawn("holder", func(p *sim.Proc) error {
+		r, err := d.Register(100)
+		if err != nil {
+			return err
+		}
+		if err := p.Sleep(3); err != nil {
+			return err
+		}
+		r.Deregister()
+		return nil
+	})
+	e.Spawn("waiter", func(p *sim.Proc) error {
+		if err := p.Sleep(1); err != nil {
+			return err
+		}
+		r, err := d.RegisterWait(p, 100)
+		if err != nil {
+			return err
+		}
+		acquiredAt = p.Now()
+		r.Deregister()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acquiredAt-3) > 1e-9 {
+		t.Fatalf("acquiredAt = %v, want 3", acquiredAt)
+	}
+}
+
+func TestDRCOverload(t *testing.T) {
+	e := sim.NewEngine()
+	drc, err := NewDRC(e, DRCConfig{RequestsPerSec: 1, MaxPending: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overloaded := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("req", func(p *sim.Proc) error {
+			_, err := drc.Acquire(p, "job1", p.Name())
+			if errors.Is(err, ErrDRCOverload) {
+				overloaded++
+				return nil
+			}
+			return err
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if overloaded != 2 {
+		t.Fatalf("overloaded = %d, want 2 (5 requests, 3 pending slots)", overloaded)
+	}
+	if drc.Failures() != 2 {
+		t.Fatalf("Failures = %d, want 2", drc.Failures())
+	}
+}
+
+func TestDRCNodeSecureDeniesSecondJob(t *testing.T) {
+	e := sim.NewEngine()
+	drc, err := NewDRC(e, DRCConfig{RequestsPerSec: 100, MaxPending: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("job1", func(p *sim.Proc) error {
+		_, err := drc.Acquire(p, "job1", "node0")
+		return err
+	})
+	e.Spawn("job2", func(p *sim.Proc) error {
+		if err := p.Sleep(1); err != nil {
+			return err
+		}
+		_, err := drc.Acquire(p, "job2", "node0")
+		if !errors.Is(err, ErrDRCNodeSecure) {
+			t.Errorf("second job error = %v, want ErrDRCNodeSecure", err)
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRCNodeInsecureAllowsSharing(t *testing.T) {
+	e := sim.NewEngine()
+	drc, err := NewDRC(e, DRCConfig{RequestsPerSec: 100, MaxPending: 10, NodeInsecure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("job1", func(p *sim.Proc) error {
+		_, err := drc.Acquire(p, "job1", "node0")
+		return err
+	})
+	e.Spawn("job2", func(p *sim.Proc) error {
+		if err := p.Sleep(1); err != nil {
+			return err
+		}
+		_, err := drc.Acquire(p, "job2", "node0")
+		return err
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("node-insecure sharing should succeed: %v", err)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if ProtoUGNI.String() != "uGNI" || ProtoNNTI.String() != "NNTI" {
+		t.Fatal("protocol names wrong")
+	}
+}
+
+func TestPeerMailboxAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDomain(e, "n0", 1<<30, 4)
+	// 3 mailboxes per handle: 1..3 peers -> 1 handle, 4..6 -> 2, ...
+	for i := 0; i < 3; i++ {
+		if err := d.AddPeerMailboxes(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.HandlesUsed() != 1 {
+		t.Fatalf("handles = %d, want 1 for 3 peers", d.HandlesUsed())
+	}
+	if err := d.AddPeerMailboxes(9); err != nil {
+		t.Fatal(err)
+	}
+	if d.HandlesUsed() != 4 || d.PeerMailboxes() != 12 {
+		t.Fatalf("handles = %d peers = %d, want 4/12", d.HandlesUsed(), d.PeerMailboxes())
+	}
+	// The 13th peer needs a 5th handle: over the 4-handle budget.
+	if err := d.AddPeerMailboxes(1); !errors.Is(err, ErrOutOfHandles) {
+		t.Fatalf("error = %v, want ErrOutOfHandles", err)
+	}
+	d.RemovePeerMailboxes(12)
+	if d.HandlesUsed() != 0 || d.PeerMailboxes() != 0 {
+		t.Fatalf("after removal: handles = %d peers = %d", d.HandlesUsed(), d.PeerMailboxes())
+	}
+	// Removing more than held clamps at zero.
+	d.RemovePeerMailboxes(5)
+	if d.PeerMailboxes() != 0 {
+		t.Fatal("negative peer count")
+	}
+	if err := d.AddPeerMailboxes(0); err != nil {
+		t.Fatal("zero add should be a no-op")
+	}
+}
+
+func TestDRCReleaseAndConfig(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DRCConfig{RequestsPerSec: 100, MaxPending: 4}
+	drc, err := NewDRC(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drc.Config(); got.MaxPending != 4 {
+		t.Fatalf("Config = %+v", got)
+	}
+	var cred Credential
+	e.Spawn("p", func(p *sim.Proc) error {
+		var err error
+		cred, err = drc.Acquire(p, "job1", "node0")
+		return err
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// After release, another job can claim the node.
+	drc.Release(cred)
+	e.Spawn("p2", func(p *sim.Proc) error {
+		_, err := drc.Acquire(p, "job2", "node0")
+		return err
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("node credential not released: %v", err)
+	}
+	if drc.Requests() != 2 || drc.Failures() != 0 {
+		t.Fatalf("requests/failures = %d/%d", drc.Requests(), drc.Failures())
+	}
+}
+
+func TestNewDRCValidation(t *testing.T) {
+	e := sim.NewEngine()
+	if _, err := NewDRC(e, DRCConfig{MaxPending: 1}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewDRC(e, DRCConfig{RequestsPerSec: 1}); err == nil {
+		t.Fatal("zero pending accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDomain(e, "n0", 100, 10)
+	if _, err := d.Register(0); err == nil {
+		t.Fatal("zero-byte register accepted")
+	}
+	if d.MemCapacity() != 100 || d.HandleCapacity() != 10 {
+		t.Fatal("capacity accessors wrong")
+	}
+}

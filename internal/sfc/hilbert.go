@@ -1,0 +1,172 @@
+// Package sfc implements the n-dimensional Hilbert space-filling curve
+// that DataSpaces uses to index staged data (Section III-B3). Coordinates
+// live in a padded index space of 2^k per dimension, where k is the
+// smallest integer with 2^k >= the longest dimension extent — the padding
+// the paper identifies as a driver of DataSpaces' superlinear indexing
+// memory (Figure 6).
+//
+// The implementation follows John Skilling's transpose algorithm
+// ("Programming the Hilbert curve", AIP 2004).
+package sfc
+
+import "fmt"
+
+// MaxIndexBits is the largest total index width (dimensions x bits per
+// dimension) representable in a uint64 curve index.
+const MaxIndexBits = 63
+
+// Curve maps between n-dimensional coordinates and positions along a
+// Hilbert curve of order bits (each coordinate in [0, 2^bits)).
+type Curve struct {
+	dims int
+	bits int
+}
+
+// NewCurve returns a Hilbert curve over dims dimensions with the given
+// bits per dimension.
+func NewCurve(dims, bits int) (*Curve, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("sfc: dims %d < 1", dims)
+	}
+	if bits < 1 {
+		return nil, fmt.Errorf("sfc: bits %d < 1", bits)
+	}
+	if dims*bits > MaxIndexBits {
+		return nil, fmt.Errorf("sfc: dims*bits %d exceeds %d", dims*bits, MaxIndexBits)
+	}
+	return &Curve{dims: dims, bits: bits}, nil
+}
+
+// Dims returns the dimensionality of the curve.
+func (c *Curve) Dims() int { return c.dims }
+
+// Bits returns the bits per dimension.
+func (c *Curve) Bits() int { return c.bits }
+
+// Length returns the number of cells on the curve (2^(dims*bits)).
+func (c *Curve) Length() uint64 { return 1 << uint(c.dims*c.bits) }
+
+// Index returns the curve position of the given coordinates.
+func (c *Curve) Index(coords []uint64) (uint64, error) {
+	if len(coords) != c.dims {
+		return 0, fmt.Errorf("sfc: got %d coords, want %d", len(coords), c.dims)
+	}
+	x := make([]uint64, c.dims)
+	limit := uint64(1) << uint(c.bits)
+	for i, v := range coords {
+		if v >= limit {
+			return 0, fmt.Errorf("sfc: coord %d = %d out of range [0,%d)", i, v, limit)
+		}
+		x[i] = v
+	}
+	axesToTranspose(x, c.bits)
+	return c.interleave(x), nil
+}
+
+// Coords returns the coordinates of the given curve position.
+func (c *Curve) Coords(index uint64) ([]uint64, error) {
+	if index >= c.Length() {
+		return nil, fmt.Errorf("sfc: index %d out of range [0,%d)", index, c.Length())
+	}
+	x := c.deinterleave(index)
+	transposeToAxes(x, c.bits)
+	return x, nil
+}
+
+// interleave packs the transposed representation into a single index:
+// bit (b-1-j) of X[i] becomes bit (n*b - 1 - (j*n + i)) of the result.
+func (c *Curve) interleave(x []uint64) uint64 {
+	var out uint64
+	for j := 0; j < c.bits; j++ {
+		for i := 0; i < c.dims; i++ {
+			bit := (x[i] >> uint(c.bits-1-j)) & 1
+			out = (out << 1) | bit
+		}
+	}
+	return out
+}
+
+func (c *Curve) deinterleave(index uint64) []uint64 {
+	x := make([]uint64, c.dims)
+	total := c.dims * c.bits
+	for pos := 0; pos < total; pos++ {
+		bit := (index >> uint(total-1-pos)) & 1
+		i := pos % c.dims
+		x[i] = (x[i] << 1) | bit
+	}
+	return x
+}
+
+// axesToTranspose converts coordinates to the transposed Hilbert form.
+func axesToTranspose(x []uint64, bits int) {
+	n := len(x)
+	m := uint64(1) << uint(bits-1)
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint64
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes converts the transposed Hilbert form to coordinates.
+func transposeToAxes(x []uint64, bits int) {
+	n := len(x)
+	nBig := uint64(2) << uint(bits-1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint64(2); q != nBig; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				tt := (x[0] ^ x[i]) & p
+				x[0] ^= tt
+				x[i] ^= tt
+			}
+		}
+	}
+}
+
+// BitsFor returns the smallest k with 2^k >= extent (extent >= 1), i.e.
+// the curve order needed to cover a dimension of that extent.
+func BitsFor(extent uint64) int {
+	k := 0
+	for uint64(1)<<uint(k) < extent {
+		k++
+	}
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+// PaddedExtent returns 2^BitsFor(extent), the index-space extent DataSpaces
+// allocates for a dimension of the given size.
+func PaddedExtent(extent uint64) uint64 { return 1 << uint(BitsFor(extent)) }

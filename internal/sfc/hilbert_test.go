@@ -1,0 +1,180 @@
+package sfc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCurve2DOrder1(t *testing.T) {
+	// The order-1 2D Hilbert curve visits (0,0),(0,1),(1,1),(1,0).
+	c, err := NewCurve(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]uint64{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	for idx, coords := range want {
+		got, err := c.Coords(uint64(idx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, coords) {
+			t.Fatalf("Coords(%d) = %v, want %v", idx, got, coords)
+		}
+	}
+}
+
+func TestCurveBijection2D(t *testing.T) {
+	c, err := NewCurve(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool, c.Length())
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			idx, err := c.Index([]uint64{x, y})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx >= c.Length() {
+				t.Fatalf("index %d out of range", idx)
+			}
+			if seen[idx] {
+				t.Fatalf("index %d visited twice", idx)
+			}
+			seen[idx] = true
+			back, err := c.Coords(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back[0] != x || back[1] != y {
+				t.Fatalf("round trip (%d,%d) -> %d -> %v", x, y, idx, back)
+			}
+		}
+	}
+	if len(seen) != int(c.Length()) {
+		t.Fatalf("visited %d cells, want %d", len(seen), c.Length())
+	}
+}
+
+func TestCurveAdjacency(t *testing.T) {
+	// Consecutive curve positions are adjacent cells (Manhattan distance 1)
+	// — the locality property that makes SFC useful for spatial indexing.
+	for _, dims := range []int{2, 3} {
+		c, err := NewCurve(dims, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev, err := c.Coords(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx := uint64(1); idx < c.Length(); idx++ {
+			cur, err := c.Coords(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist := uint64(0)
+			for i := range cur {
+				if cur[i] > prev[i] {
+					dist += cur[i] - prev[i]
+				} else {
+					dist += prev[i] - cur[i]
+				}
+			}
+			if dist != 1 {
+				t.Fatalf("dims=%d: positions %d and %d are %d apart", dims, idx-1, idx, dist)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestCurveRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := r.Intn(4) + 1
+		maxBits := MaxIndexBits / dims
+		if maxBits > 12 {
+			maxBits = 12
+		}
+		bits := r.Intn(maxBits) + 1
+		c, err := NewCurve(dims, bits)
+		if err != nil {
+			return false
+		}
+		coords := make([]uint64, dims)
+		for i := range coords {
+			coords[i] = uint64(r.Intn(1 << uint(bits)))
+		}
+		idx, err := c.Index(coords)
+		if err != nil {
+			return false
+		}
+		back, err := c.Coords(idx)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(coords, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	if _, err := NewCurve(0, 4); err == nil {
+		t.Error("NewCurve(0,4): want error")
+	}
+	if _, err := NewCurve(8, 8); err == nil {
+		t.Error("NewCurve(8,8): want error (64 bits)")
+	}
+	c, err := NewCurve(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Index([]uint64{4, 0}); err == nil {
+		t.Error("Index out-of-range coord: want error")
+	}
+	if _, err := c.Index([]uint64{0}); err == nil {
+		t.Error("Index wrong rank: want error")
+	}
+	if _, err := c.Coords(16); err == nil {
+		t.Error("Coords out-of-range index: want error")
+	}
+}
+
+func TestBitsForAndPaddedExtent(t *testing.T) {
+	cases := []struct {
+		extent uint64
+		bits   int
+		padded uint64
+	}{
+		{1, 1, 2}, {2, 1, 2}, {3, 2, 4}, {4, 2, 4}, {5, 3, 8},
+		{2048, 11, 2048}, {2049, 12, 4096}, {262144, 18, 262144},
+	}
+	for _, tc := range cases {
+		if got := BitsFor(tc.extent); got != tc.bits {
+			t.Errorf("BitsFor(%d) = %d, want %d", tc.extent, got, tc.bits)
+		}
+		if got := PaddedExtent(tc.extent); got != tc.padded {
+			t.Errorf("PaddedExtent(%d) = %d, want %d", tc.extent, got, tc.padded)
+		}
+	}
+}
+
+// The paper's Fig 6 example: a 4096 x (64*2048) global array pads to a
+// 262144-wide index space on the longest dimension.
+func TestPaperIndexSpaceExample(t *testing.T) {
+	longest := uint64(64 * 2048)
+	if got := PaddedExtent(longest); got != 131072 {
+		t.Fatalf("PaddedExtent(%d) = %d, want 131072", longest, got)
+	}
+	// With per-processor size 4096x2048 and 64 processors the global
+	// second dimension is 131072; the paper quotes the padded index space
+	// as 262144^2 for the 4096x2048-per-proc case at the next power of 2.
+	if got := PaddedExtent(64 * 4096); got != 262144 {
+		t.Fatalf("PaddedExtent(%d) = %d, want 262144", uint64(64*4096), got)
+	}
+}

@@ -1,0 +1,105 @@
+package sfc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/imcstudy/imcstudy/internal/ndarray"
+)
+
+// Range is a contiguous interval [Lo, Hi) of curve positions.
+type Range struct {
+	Lo, Hi uint64
+}
+
+// Len returns the number of positions in the range.
+func (r Range) Len() uint64 { return r.Hi - r.Lo }
+
+// Ranges returns the sorted, merged set of curve-index intervals that
+// exactly cover the given box — the computation a DataSpaces metadata
+// server performs to route a spatial query to the servers owning the
+// matching curve segments.
+//
+// The algorithm walks the implicit 2^n-ary tree of the curve: a cell at
+// depth d (side 2^(bits-d)) is visited by the Hilbert curve as one
+// contiguous index block of length 2^(n*(bits-d)), so cells fully inside
+// the box emit their whole block and partial cells recurse.
+func (c *Curve) Ranges(box ndarray.Box) ([]Range, error) {
+	if box.Rank() != c.dims {
+		return nil, fmt.Errorf("sfc: box rank %d, curve dims %d", box.Rank(), c.dims)
+	}
+	limit := uint64(1) << uint(c.bits)
+	for i := 0; i < box.Rank(); i++ {
+		if box.Hi[i] > limit {
+			return nil, fmt.Errorf("sfc: box %s exceeds curve extent %d", box, limit)
+		}
+	}
+	if box.Empty() {
+		return nil, nil
+	}
+	var out []Range
+	cellLo := make([]uint64, c.dims)
+	out = c.collect(box, cellLo, 0, out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	// Merge adjacent/overlapping intervals.
+	merged := out[:0]
+	for _, r := range out {
+		if n := len(merged); n > 0 && merged[n-1].Hi >= r.Lo {
+			if r.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = r.Hi
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged, nil
+}
+
+// collect recurses into the cell with lower corner cellLo at the given
+// depth, appending covered index blocks.
+func (c *Curve) collect(box ndarray.Box, cellLo []uint64, depth int, out []Range) []Range {
+	side := uint64(1) << uint(c.bits-depth)
+	// Intersection test between the cell and the box.
+	contained := true
+	for i := 0; i < c.dims; i++ {
+		cLo, cHi := cellLo[i], cellLo[i]+side
+		if cLo >= box.Hi[i] || box.Lo[i] >= cHi {
+			return out // disjoint
+		}
+		if cLo < box.Lo[i] || cHi > box.Hi[i] {
+			contained = false
+		}
+	}
+	if contained || depth == c.bits {
+		// The cell's positions form one contiguous curve block.
+		shift := uint(c.dims * (c.bits - depth))
+		idx, err := c.Index(cellLo)
+		if err != nil {
+			return out // unreachable: cellLo is in range by construction
+		}
+		start := (idx >> shift) << shift
+		return append(out, Range{Lo: start, Hi: start + (uint64(1) << shift)})
+	}
+	// Recurse into the 2^dims children.
+	half := side / 2
+	child := make([]uint64, c.dims)
+	for mask := 0; mask < 1<<uint(c.dims); mask++ {
+		for i := 0; i < c.dims; i++ {
+			child[i] = cellLo[i]
+			if mask&(1<<uint(i)) != 0 {
+				child[i] += half
+			}
+		}
+		out = c.collect(box, child, depth+1, out)
+	}
+	return out
+}
+
+// CoveredPositions sums the lengths of a range set.
+func CoveredPositions(ranges []Range) uint64 {
+	var total uint64
+	for _, r := range ranges {
+		total += r.Len()
+	}
+	return total
+}

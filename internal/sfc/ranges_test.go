@@ -1,0 +1,190 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/imcstudy/imcstudy/internal/ndarray"
+)
+
+func rangesBox(t testing.TB, lo, hi []uint64) ndarray.Box {
+	t.Helper()
+	b, err := ndarray.NewBox(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// bruteRanges computes the reference answer by enumerating every cell.
+func bruteRanges(t testing.TB, c *Curve, box ndarray.Box) []Range {
+	t.Helper()
+	inBox := make([]bool, c.Length())
+	coord := make([]uint64, c.Dims())
+	var walk func(d int)
+	walk = func(d int) {
+		if d == c.Dims() {
+			idx, err := c.Index(coord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inBox[idx] = true
+			return
+		}
+		for v := box.Lo[d]; v < box.Hi[d]; v++ {
+			coord[d] = v
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	var out []Range
+	for i := uint64(0); i < c.Length(); i++ {
+		if !inBox[i] {
+			continue
+		}
+		j := i
+		for j < c.Length() && inBox[j] {
+			j++
+		}
+		out = append(out, Range{Lo: i, Hi: j})
+		i = j
+	}
+	return out
+}
+
+func TestRangesWholeDomainIsOneInterval(t *testing.T) {
+	c, err := NewCurve(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := rangesBox(t, []uint64{0, 0}, []uint64{16, 16})
+	got, err := c.Ranges(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (Range{Lo: 0, Hi: 256}) {
+		t.Fatalf("ranges = %v, want [{0 256}]", got)
+	}
+}
+
+func TestRangesSingleCell(t *testing.T) {
+	c, err := NewCurve(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := rangesBox(t, []uint64{5, 2}, []uint64{6, 3})
+	got, err := c.Ranges(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.Index([]uint64{5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Lo != idx || got[0].Hi != idx+1 {
+		t.Fatalf("ranges = %v, want [{%d %d}]", got, idx, idx+1)
+	}
+}
+
+func TestRangesMatchBruteForce2D(t *testing.T) {
+	c, err := NewCurve(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []ndarray.Box{
+		rangesBox(t, []uint64{0, 0}, []uint64{8, 8}),
+		rangesBox(t, []uint64{3, 5}, []uint64{11, 13}),
+		rangesBox(t, []uint64{1, 0}, []uint64{2, 16}),
+		rangesBox(t, []uint64{0, 7}, []uint64{16, 9}),
+		rangesBox(t, []uint64{15, 15}, []uint64{16, 16}),
+	}
+	for _, box := range cases {
+		got, err := c.Ranges(box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteRanges(t, c, box)
+		if len(got) != len(want) {
+			t.Fatalf("box %s: %d ranges, want %d\n got %v\nwant %v", box, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("box %s: range %d = %v, want %v", box, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRangesMatchBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := rng.Intn(2) + 2 // 2 or 3 dims
+		bits := rng.Intn(2) + 2 // 2 or 3 bits
+		c, err := NewCurve(dims, bits)
+		if err != nil {
+			return false
+		}
+		limit := uint64(1) << uint(bits)
+		lo := make([]uint64, dims)
+		hi := make([]uint64, dims)
+		for i := range lo {
+			lo[i] = uint64(rng.Intn(int(limit)))
+			hi[i] = lo[i] + uint64(rng.Intn(int(limit-lo[i]))) + 1
+		}
+		box, err := ndarray.NewBox(lo, hi)
+		if err != nil {
+			return false
+		}
+		got, err := c.Ranges(box)
+		if err != nil {
+			return false
+		}
+		want := bruteRanges(t, c, box)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return CoveredPositions(got) == box.NumElems()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangesValidation(t *testing.T) {
+	c, err := NewCurve(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ranges(rangesBox(t, []uint64{0}, []uint64{4})); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if _, err := c.Ranges(rangesBox(t, []uint64{0, 0}, []uint64{9, 4})); err == nil {
+		t.Fatal("out-of-extent box accepted")
+	}
+}
+
+func TestRangesLocality(t *testing.T) {
+	// Hilbert locality: a compact square decomposes into far fewer ranges
+	// than its cell count.
+	c, err := NewCurve(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := rangesBox(t, []uint64{8, 8}, []uint64{24, 24}) // 256 cells
+	got, err := c.Ranges(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CoveredPositions(got) != 256 {
+		t.Fatalf("covered %d, want 256", CoveredPositions(got))
+	}
+	if len(got) > 32 {
+		t.Fatalf("%d ranges for a 16x16 square; Hilbert locality should give far fewer", len(got))
+	}
+}

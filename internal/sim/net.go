@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// completionEps is the residual byte count below which a flow is complete;
+// it absorbs float64 rounding in the processor-sharing integration.
+const completionEps = 1e-3
+
+// Link is a capacity-constrained bandwidth resource inside a Net: a NIC
+// injection port, a Lustre OST, a shared-memory bus, and so on.
+type Link struct {
+	id   int
+	name string
+	rate float64 // bytes per second
+
+	bytesMoved float64
+	flowsEver  int64
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Rate returns the link capacity in bytes per second.
+func (l *Link) Rate() float64 { return l.rate }
+
+// BytesMoved returns the total bytes transferred through the link.
+func (l *Link) BytesMoved() float64 { return l.bytesMoved }
+
+// Flows returns the number of flows that have ever traversed the link.
+func (l *Link) Flows() int64 { return l.flowsEver }
+
+// Net is a max-min fair bandwidth-sharing network. Each flow traverses a
+// set of links; flow rates are assigned by progressive filling (the
+// bottleneck link's fair share caps every flow through it), which is what
+// makes N writers targeting one staging server's NIC each receive 1/N of
+// that NIC — the N-to-1 pathology at the heart of Finding 3.
+//
+// Rate assignment is coalesced: any number of flow arrivals and
+// completions at the same virtual instant trigger a single recomputation,
+// which keeps large fan-outs (thousands of simultaneous puts) affordable.
+type Net struct {
+	e          *Engine
+	links      []*Link
+	flows      []*netFlow
+	lastT      Time
+	cancelNext func()
+	dirty      bool
+
+	// Scratch buffers for assignRates, indexed by link id.
+	remCap []float64
+	count  []int
+}
+
+type netFlow struct {
+	remaining float64
+	rate      float64
+	rateCap   float64 // 0 = uncapped
+	links     []*Link
+	done      *Event
+	fixed     bool
+}
+
+// NewNet returns an empty network bound to the engine.
+func (e *Engine) NewNet() *Net {
+	return &Net{e: e}
+}
+
+// NewLink adds a link with the given capacity in bytes per second.
+func (n *Net) NewLink(name string, bytesPerSec float64) *Link {
+	l := &Link{id: len(n.links), name: name, rate: bytesPerSec}
+	n.links = append(n.links, l)
+	n.remCap = append(n.remCap, 0)
+	n.count = append(n.count, 0)
+	return l
+}
+
+// StartFlow begins a flow of bytes across every link in links and returns
+// an event that fires when it completes. Callers that need several
+// concurrent flows (striped Lustre writes, scatter sends) start them all
+// and then WaitAll. A non-positive size returns an already-fired event.
+func (n *Net) StartFlow(bytes float64, links ...*Link) *Event {
+	return n.StartFlowCapped(bytes, 0, links...)
+}
+
+// StartFlowCapped is StartFlow with an optional per-flow rate ceiling in
+// bytes per second (0 = uncapped). It models flows that cannot use a full
+// shared resource alone — e.g. a Lustre write that touches only a few
+// stripes of the OST pool.
+func (n *Net) StartFlowCapped(bytes, rateCap float64, links ...*Link) *Event {
+	done := n.e.NewEvent()
+	if bytes <= 0 {
+		done.Fire(nil)
+		return done
+	}
+	f := &netFlow{remaining: bytes, rateCap: rateCap, links: links, done: done}
+	for _, l := range links {
+		l.bytesMoved += bytes
+		l.flowsEver++
+	}
+	n.advance()
+	n.flows = append(n.flows, f)
+	n.markDirty()
+	return done
+}
+
+// Transfer moves bytes across every link in links simultaneously, blocking
+// the calling process until the flow completes under max-min fair sharing
+// with all concurrent flows. A zero-byte transfer returns immediately.
+func (p *Proc) Transfer(n *Net, bytes float64, links ...*Link) error {
+	if bytes <= 0 {
+		return nil
+	}
+	if len(links) == 0 {
+		return fmt.Errorf("sim: transfer of %.0f bytes with no links", bytes)
+	}
+	_, err := p.Wait(n.StartFlow(bytes, links...))
+	return err
+}
+
+// markDirty schedules one rate recomputation at the current instant.
+func (n *Net) markDirty() {
+	if n.dirty {
+		return
+	}
+	n.dirty = true
+	if n.cancelNext != nil {
+		n.cancelNext()
+		n.cancelNext = nil
+	}
+	n.e.At(n.e.now, n.flush)
+}
+
+func (n *Net) flush() {
+	n.dirty = false
+	n.assignRates()
+	n.scheduleNext()
+}
+
+// advance integrates flow progress at current rates up to the present.
+func (n *Net) advance() {
+	dt := n.e.now - n.lastT
+	n.lastT = n.e.now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range n.flows {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+}
+
+// assignRates performs progressive filling over the links that currently
+// carry flows: repeatedly find the link whose fair share (remaining
+// capacity / unfixed flows) is smallest, fix all its flows at that rate,
+// and subtract their demand from the other links they traverse. Iteration
+// is in stable link-id order so runs are deterministic.
+func (n *Net) assignRates() {
+	var active []*Link
+	for _, f := range n.flows {
+		f.fixed = false
+		for _, l := range f.links {
+			if n.count[l.id] == 0 {
+				n.remCap[l.id] = l.rate
+				active = append(active, l)
+			}
+			n.count[l.id]++
+		}
+	}
+	unfixed := len(n.flows)
+	for unfixed > 0 {
+		best := -1
+		bestShare := math.Inf(1)
+		for _, l := range active {
+			if n.count[l.id] == 0 {
+				continue
+			}
+			share := n.remCap[l.id] / float64(n.count[l.id])
+			if share < bestShare || (share == bestShare && (best < 0 || l.id < best)) {
+				bestShare = share
+				best = l.id
+			}
+		}
+		if best < 0 {
+			// Remaining flows traverse only saturated links; stall them.
+			for _, f := range n.flows {
+				if !f.fixed {
+					f.rate = 0
+					f.fixed = true
+					unfixed--
+				}
+			}
+			break
+		}
+		if bestShare < 0 {
+			bestShare = 0
+		}
+		for _, f := range n.flows {
+			if f.fixed {
+				continue
+			}
+			onBottleneck := false
+			for _, l := range f.links {
+				if l.id == best {
+					onBottleneck = true
+					break
+				}
+			}
+			if !onBottleneck {
+				continue
+			}
+			rate := bestShare
+			if f.rateCap > 0 && f.rateCap < rate {
+				rate = f.rateCap
+			}
+			f.rate = rate
+			f.fixed = true
+			unfixed--
+			for _, l := range f.links {
+				n.remCap[l.id] -= rate
+				if n.remCap[l.id] < 0 {
+					n.remCap[l.id] = 0
+				}
+				n.count[l.id]--
+			}
+		}
+	}
+	// Reset scratch counters for the next recomputation.
+	for _, l := range active {
+		n.count[l.id] = 0
+	}
+}
+
+// scheduleNext arranges a callback at the earliest flow completion.
+func (n *Net) scheduleNext() {
+	if n.cancelNext != nil {
+		n.cancelNext()
+		n.cancelNext = nil
+	}
+	tmin := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < tmin {
+			tmin = t
+		}
+	}
+	if math.IsInf(tmin, 1) {
+		return
+	}
+	if tmin < 0 {
+		tmin = 0
+	}
+	n.cancelNext = n.e.At(n.e.now+tmin, n.onCompletion)
+}
+
+// onCompletion retires finished flows and recomputes the sharing.
+func (n *Net) onCompletion() {
+	n.cancelNext = nil
+	n.advance()
+	keep := n.flows[:0]
+	for _, f := range n.flows {
+		if f.remaining <= completionEps {
+			f.done.Fire(nil)
+		} else {
+			keep = append(keep, f)
+		}
+	}
+	for i := len(keep); i < len(n.flows); i++ {
+		n.flows[i] = nil
+	}
+	n.flows = keep
+	n.markDirty()
+}

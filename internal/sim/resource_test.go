@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestResourceTryAcquireExhaustion(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("rdma", 100)
+	if err := r.TryAcquire(60); err != nil {
+		t.Fatalf("TryAcquire(60): %v", err)
+	}
+	if err := r.TryAcquire(50); !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("TryAcquire(50) error = %v, want ErrResourceExhausted", err)
+	}
+	r.Release(60)
+	if err := r.TryAcquire(100); err != nil {
+		t.Fatalf("TryAcquire(100) after release: %v", err)
+	}
+	if r.Peak() != 100 {
+		t.Fatalf("Peak = %d, want 100", r.Peak())
+	}
+}
+
+func TestResourceAcquireBlocksUntilRelease(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("slots", 1)
+	var acquiredAt Time
+	e.Spawn("holder", func(p *Proc) error {
+		if err := p.Acquire(r, 1); err != nil {
+			return err
+		}
+		if err := p.Sleep(5); err != nil {
+			return err
+		}
+		r.Release(1)
+		return nil
+	})
+	e.Spawn("waiter", func(p *Proc) error {
+		if err := p.Sleep(1); err != nil {
+			return err
+		}
+		if err := p.Acquire(r, 1); err != nil {
+			return err
+		}
+		acquiredAt = p.Now()
+		r.Release(1)
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !almostEq(acquiredAt, 5, 1e-9) {
+		t.Fatalf("acquiredAt = %v, want 5", acquiredAt)
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("slots", 1)
+	var order []int
+	e.Spawn("holder", func(p *Proc) error {
+		if err := p.Acquire(r, 1); err != nil {
+			return err
+		}
+		if err := p.Sleep(10); err != nil {
+			return err
+		}
+		r.Release(1)
+		return nil
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) error {
+			if err := p.Sleep(Time(i)); err != nil { // stagger arrivals
+				return err
+			}
+			if err := p.Acquire(r, 1); err != nil {
+				return err
+			}
+			order = append(order, i)
+			r.Release(1)
+			return nil
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestAcquireLargerThanCapacityFails(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("mem", 10)
+	e.Spawn("p", func(p *Proc) error {
+		err := p.Acquire(r, 11)
+		if !errors.Is(err, ErrResourceExhausted) {
+			t.Errorf("Acquire(11) error = %v, want ErrResourceExhausted", err)
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

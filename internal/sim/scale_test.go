@@ -1,0 +1,28 @@
+package sim
+
+import "testing"
+
+func TestScaleManyFlows(t *testing.T) {
+	e := NewEngine()
+	n := e.NewNet()
+	const senders = 8192
+	const servers = 64
+	recv := make([]*Link, servers)
+	for i := range recv {
+		recv[i] = n.NewLink("recv", 5.5e9)
+	}
+	for i := 0; i < senders; i++ {
+		src := n.NewLink("src", 5.5e9)
+		dst := recv[i%servers]
+		e.Spawn("s", func(p *Proc) error {
+			return p.Transfer(n, 20e6, src, dst)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 128 flows per receiver at 5.5 GB/s: 128*20MB/5.5GB/s = 0.4654 s
+	if !almostEq(e.Now(), 128*20e6/5.5e9, 1e-3) {
+		t.Fatalf("end = %v", e.Now())
+	}
+}

@@ -1,0 +1,304 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// Processes are goroutines scheduled cooperatively against a virtual clock:
+// exactly one process executes at any instant, so simulations are
+// deterministic and free of data races by construction. The engine provides
+// three coordination primitives used by the rest of the testbed:
+//
+//   - Event: a one-shot condition processes can wait on,
+//   - Resource: a counting semaphore with a FIFO wait queue (RDMA memory,
+//     socket descriptors, server request slots, ...),
+//   - Bandwidth: a processor-sharing link model (NICs, Lustre OSTs, ...).
+//
+// Virtual time is measured in float64 seconds from the start of the run.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is a virtual-clock timestamp in seconds since the start of the run.
+type Time = float64
+
+// ErrAborted is returned from blocking calls when the engine is shut down
+// while the calling process is blocked.
+var ErrAborted = errors.New("sim: process aborted")
+
+// ErrDeadlock is returned by Run when no events remain but live processes
+// are still blocked.
+var ErrDeadlock = errors.New("sim: deadlock: processes blocked with empty event queue")
+
+type wakeMsg struct {
+	aborted bool
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     int64
+	yielded chan struct{}
+
+	live     int
+	blocked  map[*Proc]struct{}
+	procs    []*Proc
+	errs     []error
+	failFast bool
+	failed   bool
+
+	maxTime Time
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		yielded:  make(chan struct{}),
+		blocked:  make(map[*Proc]struct{}),
+		maxTime:  math.Inf(1),
+		failFast: true,
+	}
+}
+
+// SetFailFast controls whether the first process failure aborts the whole
+// run (the default — an unhandled rank failure kills an MPI job). With
+// fail-fast off, remaining processes keep running.
+func (e *Engine) SetFailFast(on bool) { e.failFast = on }
+
+// Now returns the current virtual time. It is safe to call from process
+// functions and from engine callbacks.
+func (e *Engine) Now() Time { return e.now }
+
+// SetDeadline makes Run stop (with ErrDeadline wrapped into the run errors)
+// once the virtual clock passes t. Zero or negative means no deadline.
+func (e *Engine) SetDeadline(t Time) {
+	if t <= 0 {
+		e.maxTime = math.Inf(1)
+		return
+	}
+	e.maxTime = t
+}
+
+// Proc is a handle to a simulated process. All blocking operations must be
+// invoked from the process's own goroutine.
+type Proc struct {
+	e    *Engine
+	name string
+	wake chan wakeMsg
+	done bool
+	err  error
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Spawn registers a new process that starts at the current virtual time.
+// fn runs in its own goroutine; a non-nil returned error is collected and
+// reported by Run. Spawn may be called before Run or from a running process.
+func (e *Engine) Spawn(name string, fn func(p *Proc) error) *Proc {
+	p := &Proc{e: e, name: name, wake: make(chan wakeMsg, 1)}
+	e.live++
+	e.procs = append(e.procs, p)
+	go func() {
+		msg := <-p.wake
+		var err error
+		if msg.aborted {
+			err = ErrAborted
+		} else {
+			err = fn(p)
+		}
+		p.done = true
+		p.err = err
+		e.yielded <- struct{}{}
+	}()
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+// schedule enqueues either a process wake-up or a callback at time t.
+func (e *Engine) schedule(t Time, p *Proc, fn func()) *schedItem {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	it := &schedItem{t: t, seq: e.seq, proc: p, fn: fn}
+	heap.Push(&e.queue, it)
+	return it
+}
+
+// At schedules fn to run in engine context (not as a process) at time t.
+// The returned cancel function is a no-op after the callback has fired.
+func (e *Engine) At(t Time, fn func()) (cancel func()) {
+	it := e.schedule(t, nil, fn)
+	return func() { it.canceled = true }
+}
+
+// resume hands control to p and waits for it to yield back.
+func (e *Engine) resume(p *Proc, msg wakeMsg) {
+	p.wake <- msg
+	<-e.yielded
+	if p.done {
+		e.live--
+		if p.err != nil && !errors.Is(p.err, ErrAborted) {
+			e.errs = append(e.errs, fmt.Errorf("proc %s: %w", p.name, p.err))
+			if e.failFast {
+				e.failed = true
+			}
+		}
+	}
+}
+
+// yield blocks the calling process until the engine wakes it again.
+// It must only be called from the process's goroutine.
+func (p *Proc) yield() wakeMsg {
+	p.e.yielded <- struct{}{}
+	return <-p.wake
+}
+
+// block parks the process with no scheduled wake-up; something else (an
+// Event firing, a Resource release) must schedule it. Returns ErrAborted if
+// the engine shut down while blocked.
+func (p *Proc) block() error {
+	p.e.blocked[p] = struct{}{}
+	msg := p.yield()
+	if msg.aborted {
+		return ErrAborted
+	}
+	return nil
+}
+
+// unblock schedules a wake-up for a process parked with block.
+func (e *Engine) unblock(p *Proc) {
+	if _, ok := e.blocked[p]; !ok {
+		return
+	}
+	delete(e.blocked, p)
+	e.schedule(e.now, p, nil)
+}
+
+// Sleep advances the process's view of time by d seconds (d <= 0 yields
+// without advancing the clock).
+func (p *Proc) Sleep(d Time) error {
+	if d < 0 {
+		d = 0
+	}
+	p.e.schedule(p.e.now+d, p, nil)
+	msg := p.yield()
+	if msg.aborted {
+		return ErrAborted
+	}
+	return nil
+}
+
+// Run executes the simulation until no events remain. It returns the
+// combined error of all failed processes, ErrDeadlock if live processes
+// remain blocked, or nil on a clean finish.
+func (e *Engine) Run() error {
+	for e.queue.Len() > 0 {
+		if e.failed {
+			e.abortAll()
+			break
+		}
+		it := heap.Pop(&e.queue).(*schedItem)
+		if it.canceled {
+			continue
+		}
+		if it.t > e.maxTime {
+			e.errs = append(e.errs, fmt.Errorf("sim: virtual deadline %.3fs exceeded", e.maxTime))
+			break
+		}
+		e.now = it.t
+		if it.proc != nil {
+			if it.proc.done {
+				continue
+			}
+			e.resume(it.proc, wakeMsg{})
+		} else {
+			it.fn()
+		}
+	}
+	if e.live > 0 {
+		names := make([]string, 0, len(e.blocked))
+		for p := range e.blocked {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		e.abortAll()
+		e.errs = append(e.errs, fmt.Errorf("%w: %v", ErrDeadlock, names))
+	}
+	return errors.Join(e.errs...)
+}
+
+// abortAll wakes every live process with an abort signal so its goroutine
+// unwinds; used on deadlock and shutdown so Run leaks no goroutines.
+func (e *Engine) abortAll() {
+	e.stopped = true
+	// Drain scheduled wake-ups first so procs are not woken twice.
+	for e.queue.Len() > 0 {
+		it := heap.Pop(&e.queue).(*schedItem)
+		if it.canceled || it.proc == nil || it.proc.done {
+			continue
+		}
+		delete(e.blocked, it.proc)
+		e.resume(it.proc, wakeMsg{aborted: true})
+	}
+	for p := range e.blocked {
+		delete(e.blocked, p)
+		if !p.done {
+			e.resume(p, wakeMsg{aborted: true})
+		}
+	}
+}
+
+// schedItem is a pending wake-up or callback in the event queue.
+type schedItem struct {
+	t        Time
+	seq      int64
+	proc     *Proc
+	fn       func()
+	canceled bool
+	index    int
+}
+
+type eventHeap []*schedItem
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	it := x.(*schedItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var end Time
+	e.Spawn("sleeper", func(p *Proc) error {
+		if err := p.Sleep(1.5); err != nil {
+			return err
+		}
+		if err := p.Sleep(2.5); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !almostEq(end, 4.0, 1e-9) {
+		t.Fatalf("end time = %v, want 4.0", end)
+	}
+}
+
+func TestInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var order []string
+		for _, spec := range []struct {
+			name string
+			d    Time
+		}{{"a", 3}, {"b", 1}, {"c", 2}, {"d", 1}} {
+			spec := spec
+			e.Spawn(spec.name, func(p *Proc) error {
+				if err := p.Sleep(spec.d); err != nil {
+					return err
+				}
+				order = append(order, spec.name)
+				return nil
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return order
+	}
+	want := []string{"b", "d", "c", "a"} // ties broken by spawn order
+	for i := 0; i < 10; i++ {
+		got := run()
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("iteration %d: order = %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestEventWakesAllWaiters(t *testing.T) {
+	e := NewEngine()
+	ev := e.NewEvent()
+	woke := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("waiter", func(p *Proc) error {
+			v, err := p.Wait(ev)
+			if err != nil {
+				return err
+			}
+			if v.(int) != 42 {
+				t.Errorf("event value = %v, want 42", v)
+			}
+			if !almostEq(p.Now(), 7, 1e-9) {
+				t.Errorf("woke at %v, want 7", p.Now())
+			}
+			woke++
+			return nil
+		})
+	}
+	e.Spawn("firer", func(p *Proc) error {
+		if err := p.Sleep(7); err != nil {
+			return err
+		}
+		ev.Fire(42)
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if woke != 5 {
+		t.Fatalf("woke = %d, want 5", woke)
+	}
+}
+
+func TestWaitOnFiredEventReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	ev := e.NewEvent()
+	ev.Fire("x")
+	e.Spawn("p", func(p *Proc) error {
+		v, err := p.Wait(ev)
+		if err != nil {
+			return err
+		}
+		if v.(string) != "x" {
+			t.Errorf("value = %v", v)
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	ev := e.NewEvent()
+	e.Spawn("stuck", func(p *Proc) error {
+		_, err := p.Wait(ev)
+		return err
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("Run error = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestProcErrorPropagates(t *testing.T) {
+	e := NewEngine()
+	sentinel := errors.New("boom")
+	e.Spawn("failing", func(p *Proc) error { return sentinel })
+	err := e.Run()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run error = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := NewEngine()
+	var childEnd Time
+	e.Spawn("parent", func(p *Proc) error {
+		if err := p.Sleep(2); err != nil {
+			return err
+		}
+		p.Engine().Spawn("child", func(c *Proc) error {
+			if err := c.Sleep(3); err != nil {
+				return err
+			}
+			childEnd = c.Now()
+			return nil
+		})
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !almostEq(childEnd, 5, 1e-9) {
+		t.Fatalf("child end = %v, want 5", childEnd)
+	}
+}
+
+func TestAtCallbackAndCancel(t *testing.T) {
+	e := NewEngine()
+	fired := []string{}
+	e.At(3, func() { fired = append(fired, "kept") })
+	cancel := e.At(2, func() { fired = append(fired, "canceled") })
+	cancel()
+	e.Spawn("p", func(p *Proc) error { return p.Sleep(5) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 1 || fired[0] != "kept" {
+		t.Fatalf("fired = %v, want [kept]", fired)
+	}
+}
+
+func TestDeadlineStopsRun(t *testing.T) {
+	e := NewEngine()
+	e.SetDeadline(10)
+	e.Spawn("long", func(p *Proc) error { return p.Sleep(100) })
+	err := e.Run()
+	if err == nil {
+		t.Fatal("Run: want deadline error, got nil")
+	}
+}

@@ -1,0 +1,296 @@
+// Package staging provides the pieces every in-memory staging library in
+// the testbed shares: a versioned block store with node-memory accounting
+// and bounded version retention (the max_versions runtime setting of
+// Table I), and a version gate implementing the writer-publishes /
+// reader-waits coordination that DataSpaces exposes as its lock API
+// (lock_type=2: readers of version v proceed once all writers of v have
+// unlocked).
+package staging
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/ndarray"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// ErrNotFound is returned by Query when no blocks intersect the request.
+var ErrNotFound = errors.New("staging: no data for request")
+
+// Key identifies one version of one variable.
+type Key struct {
+	Var     string
+	Version int
+}
+
+// Store is a versioned block store bound to a node. Every stored byte is
+// charged against the node's memory and attributed to the owning
+// component in the machine's memory tracker; an overflow surfaces as
+// hpc.ErrOutOfNodeMemory (Table IV, "out of main memory").
+type Store struct {
+	m           *hpc.Machine
+	node        *hpc.Node
+	component   string
+	kind        string
+	maxVersions int
+	// overheadFactor charges extra bytes per staged byte for the library's
+	// internal buffering/transformation (DataSpaces ~0.75x, Decaf ~6x —
+	// Figure 7 and Finding 2).
+	overheadFactor float64
+
+	blocks map[Key]*blockSet
+	bytes  map[Key]int64
+	vers   map[string][]int // sorted versions per variable
+}
+
+// blockSet holds one version's blocks with a cheap spatial index: when
+// sibling blocks tile along a single discriminating dimension (the common
+// case — writers decompose one dimension), they are kept sorted by that
+// dimension's lower bound so queries bisect instead of scanning. Mixed
+// layouts fall back to a linear scan.
+type blockSet struct {
+	blocks []ndarray.Block
+	// dim is the discriminating dimension; -1 means linear scan,
+	// -2 means not yet determined (0 or 1 blocks stored).
+	dim int
+	// sorted records whether blocks are ordered by Lo[dim]; adds are
+	// O(1) appends and the sort happens lazily at the first query.
+	sorted bool
+}
+
+func newBlockSet() *blockSet { return &blockSet{dim: -2} }
+
+// add appends a block, tracking whether the set still tiles a single
+// discriminating dimension.
+func (bs *blockSet) add(blk ndarray.Block) {
+	switch {
+	case bs.dim == -2 && len(bs.blocks) == 0:
+		bs.blocks = append(bs.blocks, blk)
+		return
+	case bs.dim == -2:
+		// Determine the discriminating dimension from the first pair.
+		first := bs.blocks[0].Box
+		diff := -1
+		for i := range first.Lo {
+			if first.Lo[i] != blk.Box.Lo[i] || first.Hi[i] != blk.Box.Hi[i] {
+				if diff >= 0 {
+					diff = -1
+					break
+				}
+				diff = i
+			}
+		}
+		bs.dim = diff
+	case bs.dim >= 0:
+		// Verify the new block still fits the single-dimension layout.
+		first := bs.blocks[0].Box
+		for i := range first.Lo {
+			if i == bs.dim {
+				continue
+			}
+			if first.Lo[i] != blk.Box.Lo[i] || first.Hi[i] != blk.Box.Hi[i] {
+				bs.dim = -1
+				break
+			}
+		}
+	}
+	bs.blocks = append(bs.blocks, blk)
+	bs.sorted = false
+}
+
+// query appends the sub-blocks of bs intersecting box to out.
+func (bs *blockSet) query(box ndarray.Box) ([]ndarray.Block, error) {
+	var out []ndarray.Block
+	lo, hi := 0, len(bs.blocks)
+	if bs.dim >= 0 {
+		if !bs.sorted {
+			d := bs.dim
+			sort.SliceStable(bs.blocks, func(a, b int) bool {
+				return bs.blocks[a].Box.Lo[d] < bs.blocks[b].Box.Lo[d]
+			})
+			bs.sorted = true
+		}
+		d := bs.dim
+		lo = sort.Search(len(bs.blocks), func(k int) bool {
+			return bs.blocks[k].Box.Lo[d] >= box.Lo[d]
+		})
+		// Blocks starting before box.Lo[d] can still reach into it; with
+		// tiling layouts at most a few do.
+		for lo > 0 && bs.blocks[lo-1].Box.Hi[d] > box.Lo[d] {
+			lo--
+		}
+		hi = sort.Search(len(bs.blocks), func(k int) bool {
+			return bs.blocks[k].Box.Lo[d] >= box.Hi[d]
+		})
+	}
+	for _, blk := range bs.blocks[lo:hi] {
+		if !blk.Box.Overlaps(box) {
+			continue
+		}
+		overlap, _ := blk.Box.Intersect(box)
+		sub, err := blk.Sub(overlap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub)
+	}
+	return out, nil
+}
+
+// NewStore creates a store for the named component on node. maxVersions
+// bounds how many versions of a variable are retained (older versions are
+// evicted on Put); <= 0 means unbounded.
+func NewStore(m *hpc.Machine, node *hpc.Node, component, kind string, maxVersions int, overheadFactor float64) *Store {
+	return &Store{
+		m:              m,
+		node:           node,
+		component:      component,
+		kind:           kind,
+		maxVersions:    maxVersions,
+		overheadFactor: overheadFactor,
+		blocks:         make(map[Key]*blockSet),
+		bytes:          make(map[Key]int64),
+		vers:           make(map[string][]int),
+	}
+}
+
+// Component returns the owning component name.
+func (s *Store) Component() string { return s.component }
+
+// Put stores a block under key, charging node memory (including the
+// library overhead factor). Versions beyond maxVersions are evicted
+// *before* the new block is admitted, so the peak footprint reflects the
+// retained window, not a transient overlap.
+func (s *Store) Put(key Key, blk ndarray.Block) error {
+	if s.maxVersions > 0 {
+		if _, exists := s.blocks[key]; !exists && len(s.vers[key.Var]) >= s.maxVersions {
+			s.evictFor(key.Var, key.Version)
+		}
+	}
+	cost := blk.Bytes() + int64(s.overheadFactor*float64(blk.Bytes()))
+	if err := s.m.Alloc(s.node, s.component, s.kind, cost); err != nil {
+		return fmt.Errorf("staging put %s v%d: %w", key.Var, key.Version, err)
+	}
+	set, ok := s.blocks[key]
+	if !ok {
+		vs := s.vers[key.Var]
+		i := sort.SearchInts(vs, key.Version)
+		if i == len(vs) || vs[i] != key.Version {
+			vs = append(vs, 0)
+			copy(vs[i+1:], vs[i:])
+			vs[i] = key.Version
+			s.vers[key.Var] = vs
+		}
+		set = newBlockSet()
+		s.blocks[key] = set
+	}
+	set.add(blk)
+	s.bytes[key] += cost
+	return nil
+}
+
+// evictFor drops the oldest versions of a variable until a new version
+// can be admitted within maxVersions.
+func (s *Store) evictFor(varName string, incoming int) {
+	for len(s.vers[varName]) >= s.maxVersions {
+		oldest := s.vers[varName][0]
+		if oldest >= incoming {
+			return // never evict a version newer than the incoming one
+		}
+		s.DropVersion(Key{Var: varName, Version: oldest})
+	}
+}
+
+// Query returns the stored blocks of key that intersect box.
+func (s *Store) Query(key Key, box ndarray.Box) ([]ndarray.Block, error) {
+	set, ok := s.blocks[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s v%d %s on %s", ErrNotFound, key.Var, key.Version, box, s.component)
+	}
+	out, err := set.query(box)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %s v%d %s on %s", ErrNotFound, key.Var, key.Version, box, s.component)
+	}
+	return out, nil
+}
+
+// BytesStored returns the charged bytes for key.
+func (s *Store) BytesStored(key Key) int64 { return s.bytes[key] }
+
+// DropVersion frees all blocks of key and returns the memory.
+func (s *Store) DropVersion(key Key) {
+	if cost, ok := s.bytes[key]; ok {
+		s.m.Free(s.node, s.component, s.kind, cost)
+		delete(s.bytes, key)
+		delete(s.blocks, key)
+	}
+	vs := s.vers[key.Var]
+	for i, v := range vs {
+		if v == key.Version {
+			s.vers[key.Var] = append(vs[:i], vs[i+1:]...)
+			break
+		}
+	}
+}
+
+// Close frees everything the store holds.
+func (s *Store) Close() {
+	for key := range s.bytes {
+		s.DropVersion(key)
+	}
+}
+
+// Gate coordinates writers and readers of versioned variables: each
+// version has a writer count; readers of version v block until every
+// writer of v has committed. This models DataSpaces' lock_on_write /
+// lock_on_read protocol with lock_type=2.
+type Gate struct {
+	e       *sim.Engine
+	writers int
+	commits map[Key]int
+	ready   map[Key]*sim.Event
+}
+
+// NewGate creates a gate expecting the given number of writers per
+// version.
+func NewGate(e *sim.Engine, writers int) *Gate {
+	return &Gate{
+		e:       e,
+		writers: writers,
+		commits: make(map[Key]int),
+		ready:   make(map[Key]*sim.Event),
+	}
+}
+
+// Commit records that one writer finished version key; when all writers
+// have, readers are released.
+func (g *Gate) Commit(key Key) {
+	g.commits[key]++
+	if g.commits[key] >= g.writers {
+		g.event(key).Fire(nil)
+	}
+}
+
+// WaitReady blocks until version key is fully written.
+func (g *Gate) WaitReady(p *sim.Proc, key Key) error {
+	_, err := p.Wait(g.event(key))
+	return err
+}
+
+// Ready reports whether version key is fully written.
+func (g *Gate) Ready(key Key) bool { return g.event(key).Fired() }
+
+func (g *Gate) event(key Key) *sim.Event {
+	ev, ok := g.ready[key]
+	if !ok {
+		ev = g.e.NewEvent()
+		g.ready[key] = ev
+	}
+	return ev
+}

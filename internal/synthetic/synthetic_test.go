@@ -1,0 +1,130 @@
+package synthetic
+
+import (
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/ndarray"
+)
+
+func TestLayoutsSameBytesPerWriter(t *testing.T) {
+	for _, l := range []Layout{LayoutMismatch, LayoutMatched} {
+		b, err := WriterBox(l, 16, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Bytes() != PerWriterBytes() {
+			t.Fatalf("%v: writer bytes = %d, want %d", l, b.Bytes(), PerWriterBytes())
+		}
+	}
+	if PerWriterBytes() != 20480000 {
+		t.Fatalf("PerWriterBytes = %d, want 20480000 (~20 MB)", PerWriterBytes())
+	}
+}
+
+func TestMismatchScalesNonLongestDim(t *testing.T) {
+	g, err := GlobalBox(LayoutMismatch, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ndarray.LongestDim(g) != 2 {
+		t.Fatalf("longest dim = %d, want 2 (writers scale dim 1)", ndarray.LongestDim(g))
+	}
+	g2, err := GlobalBox(LayoutMatched, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ndarray.LongestDim(g2) != 2 {
+		t.Fatalf("matched longest dim = %d, want 2 (writers scale dim 2 too)", ndarray.LongestDim(g2))
+	}
+}
+
+func TestWriterBoxesTileGlobal(t *testing.T) {
+	for _, l := range []Layout{LayoutMismatch, LayoutMatched} {
+		g, err := GlobalBox(l, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var covered uint64
+		for r := 0; r < 8; r++ {
+			b, err := WriterBox(l, 8, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			covered += b.NumElems()
+		}
+		if covered != g.NumElems() {
+			t.Fatalf("%v: writers cover %d of %d", l, covered, g.NumElems())
+		}
+	}
+}
+
+func TestFillAndVerifyRoundTrip(t *testing.T) {
+	// Fill at miniature scale: shrink by using rank arithmetic directly.
+	blk, err := FillBlock(LayoutMatched, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one element: verification must fail.
+	blk.Data[1234] += 1
+	if err := VerifyBlock(blk); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestReaderBoxesTile(t *testing.T) {
+	g, err := GlobalBox(LayoutMismatch, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var covered uint64
+	for r := 0; r < 3; r++ {
+		b, err := ReaderBox(LayoutMismatch, 10, 3, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered += b.NumElems()
+	}
+	if covered != g.NumElems() {
+		t.Fatalf("readers cover %d of %d", covered, g.NumElems())
+	}
+}
+
+func TestUnknownLayout(t *testing.T) {
+	if _, err := GlobalBox(Layout(99), 4); err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+}
+
+func TestLayoutStrings(t *testing.T) {
+	if LayoutMismatch.String() == LayoutMatched.String() {
+		t.Fatal("layout names collide")
+	}
+	if Layout(9).String() == "" {
+		t.Fatal("unknown layout should render")
+	}
+}
+
+func TestWriterBoxErrors(t *testing.T) {
+	if _, err := WriterBox(Layout(9), 4, 0); err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+	if _, err := ReaderBox(Layout(9), 4, 2, 0); err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+	if _, err := FillBlock(Layout(9), 4, 0); err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+}
+
+func TestVerifySyntheticBlockRejected(t *testing.T) {
+	b, err := WriterBox(LayoutMatched, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBlock(ndarray.NewSyntheticBlock(b)); err == nil {
+		t.Fatal("synthetic block verified")
+	}
+}

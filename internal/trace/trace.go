@@ -1,0 +1,121 @@
+// Package trace records per-component activity spans on the virtual
+// clock and exports them in the Chrome trace-event format, so a workflow
+// run's timeline (compute, staging puts/gets, waits) can be inspected in
+// chrome://tracing or Perfetto.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// Span is one activity interval of a component.
+type Span struct {
+	Component string   `json:"component"`
+	Name      string   `json:"name"`
+	Start     sim.Time `json:"start"`
+	End       sim.Time `json:"end"`
+}
+
+// Duration returns the span length.
+func (s Span) Duration() sim.Time { return s.End - s.Start }
+
+// Recorder accumulates spans. The zero value is ready to use; a nil
+// recorder ignores all calls, so call sites need no guards.
+type Recorder struct {
+	spans []Span
+}
+
+// Add records one span; calls on a nil recorder are dropped.
+func (r *Recorder) Add(component, name string, start, end sim.Time) {
+	if r == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	r.spans = append(r.spans, Span{Component: component, Name: name, Start: start, End: end})
+}
+
+// Spans returns the recorded spans sorted by start time (stable across
+// runs: the engine is deterministic).
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// TotalBy sums span durations per activity name.
+func (r *Recorder) TotalBy(name string) sim.Time {
+	if r == nil {
+		return 0
+	}
+	var total sim.Time
+	for _, s := range r.spans {
+		if s.Name == name {
+			total += s.Duration()
+		}
+	}
+	return total
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event).
+type chromeEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`  // microseconds
+	Dur   float64 `json:"dur"` // microseconds
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+// chromeMeta names a thread in the trace viewer.
+type chromeMeta struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args"`
+}
+
+// ChromeTraceJSON renders the spans as a Chrome trace-event array: one
+// "thread" per component, virtual seconds mapped to microseconds.
+func (r *Recorder) ChromeTraceJSON() ([]byte, error) {
+	spans := r.Spans()
+	tids := make(map[string]int)
+	var events []any
+	for _, s := range spans {
+		tid, ok := tids[s.Component]
+		if !ok {
+			tid = len(tids) + 1
+			tids[s.Component] = tid
+			events = append(events, chromeMeta{
+				Name:  "thread_name",
+				Phase: "M",
+				PID:   1,
+				TID:   tid,
+				Args:  map[string]string{"name": s.Component},
+			})
+		}
+		events = append(events, chromeEvent{
+			Name:  s.Name,
+			Phase: "X",
+			TS:    s.Start * 1e6,
+			Dur:   s.Duration() * 1e6,
+			PID:   1,
+			TID:   tid,
+		})
+	}
+	buf, err := json.Marshal(events)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return buf, nil
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderSpansSorted(t *testing.T) {
+	var r Recorder
+	r.Add("sim-0", "compute", 5, 7)
+	r.Add("sim-0", "put", 7, 8)
+	r.Add("ana-0", "get", 1, 3)
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Component != "ana-0" {
+		t.Fatalf("spans not sorted by start: %+v", spans)
+	}
+	if got := r.TotalBy("compute"); got != 2 {
+		t.Fatalf("TotalBy(compute) = %v, want 2", got)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Add("x", "y", 0, 1) // must not panic
+	if r.Spans() != nil {
+		t.Fatal("nil recorder returned spans")
+	}
+	if r.TotalBy("y") != 0 {
+		t.Fatal("nil recorder returned totals")
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	var r Recorder
+	r.Add("c", "n", 5, 3)
+	if d := r.Spans()[0].Duration(); d != 0 {
+		t.Fatalf("duration = %v, want 0", d)
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	var r Recorder
+	r.Add("sim-0", "compute", 0, 1.5)
+	r.Add("sim-0", "put", 1.5, 1.6)
+	r.Add("ana-0", "get", 1.6, 1.7)
+	buf, err := r.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf, &events); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf)
+	}
+	// Two thread_name metadata events + three X events.
+	var meta, complete int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+		}
+	}
+	if meta != 2 || complete != 3 {
+		t.Fatalf("meta=%d complete=%d, want 2/3\n%s", meta, complete, buf)
+	}
+	if !strings.Contains(string(buf), `"dur":1500000`) {
+		t.Fatalf("1.5 s span should be 1,500,000 us:\n%s", buf)
+	}
+}

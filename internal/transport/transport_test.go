@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/rdma"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+func newTitan(t *testing.T, nodes int) (*sim.Engine, *hpc.Machine) {
+	t.Helper()
+	e := sim.NewEngine()
+	m, err := hpc.New(e, hpc.Titan(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, m
+}
+
+func TestRDMASendTimeAndRegistration(t *testing.T) {
+	e, m := newTitan(t, 2)
+	src := NewEndpoint(m, m.Nodes[0], "job", "writer", ModeRDMA)
+	dst := NewEndpoint(m, m.Nodes[1], "job", "server", ModeRDMA)
+	var end sim.Time
+	e.Spawn("sender", func(p *sim.Proc) error {
+		if err := src.Send(p, dst, 1_100_000_000, SendOpts{}); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.2 + 1.5e-6 // 1.1 GB at 5.5 GB/s + latency
+	if math.Abs(end-want) > 1e-6 {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+	// Transient registrations must be released after the send.
+	if src.Domain().MemUsed() != 0 || dst.Domain().MemUsed() != 0 {
+		t.Fatal("RDMA memory leaked after send")
+	}
+}
+
+func TestRDMAConcurrentSendsDepleteMemory(t *testing.T) {
+	// 16 writers each sending 128 MB to one server node requires 2 GB of
+	// registered memory there — beyond Titan's 1,843 MB, so some sends
+	// fail exactly as the Laplace workflow did (Section III-B1).
+	e, m := newTitan(t, 17)
+	dst := NewEndpoint(m, m.Nodes[16], "job", "server", ModeRDMA)
+	failures := 0
+	for i := 0; i < 16; i++ {
+		src := NewEndpoint(m, m.Nodes[i], "job", "writer", ModeRDMA)
+		e.Spawn("writer", func(p *sim.Proc) error {
+			err := src.Send(p, dst, 128<<20, SendOpts{})
+			if errors.Is(err, rdma.ErrOutOfMemory) {
+				failures++
+				return nil
+			}
+			return err
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if failures == 0 {
+		t.Fatal("expected RDMA out-of-memory failures for 16 concurrent 128 MB sends")
+	}
+	// 1843 MB fits 14 concurrent 128 MB destination regions.
+	if failures != 2 {
+		t.Fatalf("failures = %d, want 2", failures)
+	}
+}
+
+func TestSocketSendSlowerThanRDMA(t *testing.T) {
+	e, m := newTitan(t, 2)
+	rSrc := NewEndpoint(m, m.Nodes[0], "job", "w-rdma", ModeRDMA)
+	rDst := NewEndpoint(m, m.Nodes[1], "job", "s-rdma", ModeRDMA)
+	var rdmaTime, sockTime sim.Time
+	e.Spawn("rdma", func(p *sim.Proc) error {
+		if err := rSrc.Send(p, rDst, 1<<30, SendOpts{}); err != nil {
+			return err
+		}
+		rdmaTime = p.Now()
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := sim.NewEngine()
+	m2, err := hpc.New(e2, hpc.Titan(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSrc := NewEndpoint(m2, m2.Nodes[0], "job", "w-sock", ModeSocket)
+	sDst := NewEndpoint(m2, m2.Nodes[1], "job", "s-sock", ModeSocket)
+	e2.Spawn("sock", func(p *sim.Proc) error {
+		if err := sSrc.Send(p, sDst, 1<<30, SendOpts{}); err != nil {
+			return err
+		}
+		sockTime = p.Now()
+		return nil
+	})
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := sockTime / rdmaTime
+	if ratio < 1.5 || ratio > 1.8 {
+		t.Fatalf("socket/RDMA time ratio = %v, want ~1/0.6", ratio)
+	}
+}
+
+func TestSocketDescriptorExhaustion(t *testing.T) {
+	e, m := newTitan(t, 3)
+	server := NewEndpoint(m, m.Nodes[2], "job", "server", ModeSocket)
+	spec := m.Spec()
+	exhausted := 0
+	// More clients than descriptors on the server node; clients spread
+	// over two nodes so the server node exhausts first.
+	nClients := int(spec.SocketDescriptors) + 10
+	clients := make([]*Endpoint, nClients)
+	for i := range clients {
+		clients[i] = NewEndpoint(m, m.Nodes[i%2], "job", "client", ModeSocket)
+	}
+	e.Spawn("connector", func(p *sim.Proc) error {
+		for _, c := range clients {
+			err := c.Connect(p, server)
+			if errors.Is(err, ErrOutOfSockets) {
+				exhausted++
+				continue
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if exhausted != 10 {
+		t.Fatalf("exhausted = %d, want 10", exhausted)
+	}
+	server.Close()
+	if m.Nodes[2].Socks.Used() != 0 {
+		t.Fatalf("server node still holds %d descriptors after Close", m.Nodes[2].Socks.Used())
+	}
+}
+
+func TestIntraNodeSendUsesBus(t *testing.T) {
+	e2 := sim.NewEngine()
+	m, err := hpc.New(e2, hpc.Cori(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewEndpoint(m, m.Nodes[0], "job", "sim", ModeSocket)
+	b := NewEndpoint(m, m.Nodes[0], "job", "analytics", ModeSocket)
+	var end sim.Time
+	e2.Spawn("p", func(p *sim.Proc) error {
+		if err := a.Send(p, b, 90_000_000_000, SendOpts{}); err != nil {
+			return err
+		}
+		end = p.Now()
+		return nil
+	})
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 90 GB over the 90 GB/s Cori memory bus: ~1 s, no socket derating.
+	if math.Abs(end-1) > 1e-3 {
+		t.Fatalf("end = %v, want ~1 (bus copy)", end)
+	}
+}
+
+func TestDRCInitOnCori(t *testing.T) {
+	e := sim.NewEngine()
+	m, err := hpc.New(e, hpc.Cori(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := NewEndpoint(m, m.Nodes[0], "job1", "sim", ModeRDMA)
+	e.Spawn("init", func(p *sim.Proc) error { return ep.Init(p) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.DRC.Requests() != 1 {
+		t.Fatalf("DRC requests = %d, want 1", m.DRC.Requests())
+	}
+	// A second job on the same node is denied (node-secure default).
+	ep2 := NewEndpoint(m, m.Nodes[0], "job2", "analytics", ModeRDMA)
+	e2 := sim.NewEngine()
+	_ = e2 // credential state lives in m.DRC, reuse the same machine
+	e.Spawn("init2", func(p *sim.Proc) error {
+		err := ep2.Init(p)
+		if !errors.Is(err, rdma.ErrDRCNodeSecure) {
+			t.Errorf("second job Init = %v, want ErrDRCNodeSecure", err)
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSocketSendAutoConnects(t *testing.T) {
+	e, m := newTitan(t, 2)
+	a := NewEndpoint(m, m.Nodes[0], "job", "a", ModeSocket)
+	b := NewEndpoint(m, m.Nodes[1], "job", "b", ModeSocket)
+	e.Spawn("p", func(p *sim.Proc) error {
+		if err := a.Send(p, b, 1000, SendOpts{}); err != nil {
+			return err
+		}
+		if a.Connections() != 1 || b.Connections() != 1 {
+			t.Errorf("connections = %d/%d, want 1/1", a.Connections(), b.Connections())
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+package workflow
+
+import (
+	"fmt"
+	"reflect"
+
+	"github.com/imcstudy/imcstudy/internal/lammps"
+	"github.com/imcstudy/imcstudy/internal/laplace"
+	"github.com/imcstudy/imcstudy/internal/ndarray"
+	"github.com/imcstudy/imcstudy/internal/synthetic"
+)
+
+// LAMMPSComputeBytes is the numerical state of one LAMMPS rank (~173 MB
+// per processor, Figure 5).
+const LAMMPSComputeBytes int64 = 173 << 20
+
+// driver adapts one workload to the generic runner: boxes, compute costs,
+// block production and consumption/verification.
+type driver struct {
+	varName string
+	global  ndarray.Box
+	// writerBox / readerBox give each rank's portion.
+	writerBox func(i int) ndarray.Box
+	readerBox func(r int) ndarray.Box
+	// perStepBytes is the staged bytes per writer per step.
+	perStepBytes int64
+	// computeBytes is the numerical-state memory per writer rank.
+	computeBytes int64
+	// simSeconds / anaSeconds are Titan-reference compute costs per step.
+	simSeconds func(i int) float64
+	anaSeconds func(r int) float64
+	// makeBlock produces writer i's block for a step; consume
+	// processes/verifies reader r's assembled block.
+	makeBlock func(i, step int) (ndarray.Block, error)
+	consume   func(r, step int, blk ndarray.Block) error
+	// flatElemsPerWriter supports Decaf's count redistribution.
+	flatElemsPerWriter uint64
+}
+
+// buildDriver constructs the workload adapter for the configuration.
+func buildDriver(cfg Config) (*driver, error) {
+	switch cfg.Workload {
+	case WorkloadLAMMPS:
+		return buildLAMMPS(cfg)
+	case WorkloadLaplace:
+		return buildLaplace(cfg)
+	case WorkloadSynthetic:
+		return buildSynthetic(cfg)
+	default:
+		return nil, fmt.Errorf("workflow: unknown workload %v", cfg.Workload)
+	}
+}
+
+func buildLAMMPS(cfg Config) (*driver, error) {
+	atoms := cfg.LAMMPSAtoms
+	if atoms == 0 {
+		atoms = lammps.PaperAtomsPerRank
+	}
+	scale := float64(atoms) / float64(lammps.PaperAtomsPerRank)
+	d := &driver{
+		varName: "atoms",
+		global:  lammps.GlobalBox(cfg.SimProcs, atoms),
+		writerBox: func(i int) ndarray.Box {
+			return lammps.WriterBox(cfg.SimProcs, i, atoms)
+		},
+		readerBox: func(r int) ndarray.Box {
+			return lammps.ReaderBox(cfg.SimProcs, cfg.AnaProcs, r, atoms)
+		},
+		perStepBytes:       int64(lammps.Properties) * int64(atoms) * ndarray.ElemSize,
+		computeBytes:       int64(float64(LAMMPSComputeBytes) * scale),
+		flatElemsPerWriter: uint64(lammps.Properties) * uint64(atoms),
+	}
+	d.simSeconds = func(int) float64 { return lammps.SimSecondsPerOutput() * scale }
+	d.anaSeconds = func(r int) float64 {
+		return lammps.MSDSecondsPerOutput(int64(d.readerBox(r).NumElems()) / lammps.Properties)
+	}
+	if !cfg.Dense {
+		d.makeBlock = func(i, _ int) (ndarray.Block, error) {
+			return ndarray.NewSyntheticBlock(d.writerBox(i)), nil
+		}
+		d.consume = func(_, _ int, blk ndarray.Block) error {
+			if blk.Dense() {
+				return fmt.Errorf("workflow: dense block in synthetic run")
+			}
+			return nil
+		}
+		return d, nil
+	}
+	// Dense mode: real MD per writer, reference snapshots retained, MSD
+	// analytics per reader verified against the trajectory itself.
+	sims := make([]*lammps.Sim, cfg.SimProcs)
+	mdCfg := lammps.DefaultConfig()
+	mdCfg.Atoms = atoms
+	for i := range sims {
+		s, err := lammps.NewSim(mdCfg, i)
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = s
+	}
+	refs := make(map[int][]ndarray.Block) // step -> writer blocks
+	analytics := make([]*lammps.MSD, cfg.AnaProcs)
+	for r := range analytics {
+		box := d.readerBox(r)
+		analytics[r] = lammps.NewMSD(int(box.Hi[1]-box.Lo[1]), atoms)
+	}
+	d.makeBlock = func(i, step int) (ndarray.Block, error) {
+		if step > 0 {
+			sims[i].Advance()
+		}
+		blk, err := sims[i].Snapshot(cfg.SimProcs, i)
+		if err != nil {
+			return ndarray.Block{}, err
+		}
+		if refs[step] == nil {
+			refs[step] = make([]ndarray.Block, cfg.SimProcs)
+		}
+		refs[step][i] = blk
+		return blk, nil
+	}
+	d.consume = func(r, step int, blk ndarray.Block) error {
+		want, err := ndarray.Assemble(d.readerBox(r), refs[step])
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(blk.Data, want.Data) {
+			return fmt.Errorf("workflow: reader %d step %d data mismatch", r, step)
+		}
+		if _, err := analytics[r].Consume(blk); err != nil {
+			return err
+		}
+		return nil
+	}
+	return d, nil
+}
+
+func buildLaplace(cfg Config) (*driver, error) {
+	rows, cols := cfg.LaplaceRows, cfg.LaplaceCols
+	if rows == 0 {
+		rows = laplace.PaperRows
+	}
+	if cols == 0 {
+		cols = laplace.PaperCols
+	}
+	cells := int64(rows) * int64(cols)
+	d := &driver{
+		varName: "field",
+		global:  laplace.GlobalBox(cfg.SimProcs, rows, cols),
+		writerBox: func(i int) ndarray.Box {
+			return laplace.WriterBox(cfg.SimProcs, i, rows, cols)
+		},
+		readerBox: func(r int) ndarray.Box {
+			return laplace.ReaderBox(cfg.SimProcs, cfg.AnaProcs, r, rows, cols)
+		},
+		perStepBytes:       cells * ndarray.ElemSize,
+		computeBytes:       2 * cells * ndarray.ElemSize, // two Jacobi buffers
+		flatElemsPerWriter: uint64(cells),
+	}
+	d.simSeconds = func(int) float64 {
+		return laplace.PaperItersPerOutput * float64(cells) * laplace.CostPerCellIter
+	}
+	d.anaSeconds = func(r int) float64 {
+		return laplace.MTASecondsPerOutput(int64(d.readerBox(r).NumElems()))
+	}
+	if !cfg.Dense {
+		d.makeBlock = func(i, _ int) (ndarray.Block, error) {
+			return ndarray.NewSyntheticBlock(d.writerBox(i)), nil
+		}
+		d.consume = func(_, _ int, blk ndarray.Block) error { return nil }
+		return d, nil
+	}
+	sims := make([]*laplace.Sim, cfg.SimProcs)
+	lpCfg := laplace.DefaultConfig()
+	lpCfg.Rows, lpCfg.Cols = rows, cols
+	for i := range sims {
+		s, err := laplace.NewSim(lpCfg, cfg.SimProcs, i)
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = s
+	}
+	refs := make(map[int][]ndarray.Block)
+	d.makeBlock = func(i, step int) (ndarray.Block, error) {
+		if step > 0 {
+			sims[i].Advance()
+		}
+		blk, err := sims[i].Snapshot()
+		if err != nil {
+			return ndarray.Block{}, err
+		}
+		if refs[step] == nil {
+			refs[step] = make([]ndarray.Block, cfg.SimProcs)
+		}
+		refs[step][i] = blk
+		return blk, nil
+	}
+	var mta laplace.MTA
+	d.consume = func(r, step int, blk ndarray.Block) error {
+		want, err := ndarray.Assemble(d.readerBox(r), refs[step])
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(blk.Data, want.Data) {
+			return fmt.Errorf("workflow: reader %d step %d data mismatch", r, step)
+		}
+		got, err := mta.Consume(blk)
+		if err != nil {
+			return err
+		}
+		ref := laplace.MomentsOf(want.Data)
+		if got != ref {
+			return fmt.Errorf("workflow: reader %d step %d moments %v != %v", r, step, got, ref)
+		}
+		return nil
+	}
+	return d, nil
+}
+
+func buildSynthetic(cfg Config) (*driver, error) {
+	layout := cfg.SyntheticLayout
+	if layout == 0 {
+		layout = synthetic.LayoutMismatch
+	}
+	global, err := synthetic.GlobalBox(layout, cfg.SimProcs)
+	if err != nil {
+		return nil, err
+	}
+	wb, err := synthetic.WriterBox(layout, cfg.SimProcs, 0)
+	if err != nil {
+		return nil, err
+	}
+	d := &driver{
+		varName: "payload",
+		global:  global,
+		writerBox: func(i int) ndarray.Box {
+			b, _ := synthetic.WriterBox(layout, cfg.SimProcs, i)
+			return b
+		},
+		readerBox: func(r int) ndarray.Box {
+			b, _ := synthetic.ReaderBox(layout, cfg.SimProcs, cfg.AnaProcs, r)
+			return b
+		},
+		perStepBytes:       wb.Bytes(),
+		computeBytes:       wb.Bytes(),
+		simSeconds:         func(int) float64 { return 0 },
+		flatElemsPerWriter: wb.NumElems(),
+	}
+	d.anaSeconds = func(int) float64 { return 0 }
+	if !cfg.Dense {
+		d.makeBlock = func(i, _ int) (ndarray.Block, error) {
+			return ndarray.NewSyntheticBlock(d.writerBox(i)), nil
+		}
+		d.consume = func(int, int, ndarray.Block) error { return nil }
+		return d, nil
+	}
+	d.makeBlock = func(i, _ int) (ndarray.Block, error) {
+		return synthetic.FillBlock(layout, cfg.SimProcs, i)
+	}
+	d.consume = func(_, _ int, blk ndarray.Block) error {
+		return synthetic.VerifyBlock(blk)
+	}
+	return d, nil
+}

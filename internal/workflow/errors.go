@@ -1,0 +1,20 @@
+package workflow
+
+import (
+	"github.com/imcstudy/imcstudy/internal/dimes"
+	"github.com/imcstudy/imcstudy/internal/rdma"
+	"github.com/imcstudy/imcstudy/internal/transport"
+)
+
+// resourceErrors enumerates the Table IV failure classes the testbed can
+// produce at runtime.
+func resourceErrors() []error {
+	return []error{
+		rdma.ErrOutOfMemory,
+		rdma.ErrOutOfHandles,
+		rdma.ErrDRCOverload,
+		rdma.ErrDRCNodeSecure,
+		transport.ErrOutOfSockets,
+		dimes.ErrBufferFull,
+	}
+}

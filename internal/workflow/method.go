@@ -1,0 +1,113 @@
+// Package workflow couples a scientific simulation with its data
+// analytics through one of the studied methods — Flexpath, DataSpaces and
+// DIMES (each natively or through ADIOS), Decaf, or MPI-IO on Lustre —
+// on a modelled machine, and measures the end-to-end behaviour the paper
+// reports: run time, per-component memory, staging time, and the failure
+// modes of Table IV.
+package workflow
+
+import "fmt"
+
+// Method selects the coupling method (the series of Figure 2).
+type Method int
+
+// Coupling methods.
+const (
+	// MethodSimOnly runs the simulation without I/O (baseline).
+	MethodSimOnly Method = iota + 1
+	// MethodAnalyticsOnly runs the analytics compute without I/O.
+	MethodAnalyticsOnly
+	// MethodFlexpath couples through Flexpath (via ADIOS, its only form).
+	MethodFlexpath
+	// MethodDataSpacesADIOS couples through DataSpaces behind ADIOS.
+	MethodDataSpacesADIOS
+	// MethodDataSpacesNative couples through the native DataSpaces API.
+	MethodDataSpacesNative
+	// MethodDIMESADIOS couples through DIMES behind ADIOS.
+	MethodDIMESADIOS
+	// MethodDIMESNative couples through the native DIMES API.
+	MethodDIMESNative
+	// MethodDecaf couples through the Decaf dataflow.
+	MethodDecaf
+	// MethodMPIIO dumps to Lustre and post-processes (the file baseline).
+	MethodMPIIO
+)
+
+// String returns the method's display name (matching the paper's legend).
+func (m Method) String() string {
+	switch m {
+	case MethodSimOnly:
+		return "simulation-only"
+	case MethodAnalyticsOnly:
+		return "analytics-only"
+	case MethodFlexpath:
+		return "Flexpath"
+	case MethodDataSpacesADIOS:
+		return "DataSpaces/ADIOS"
+	case MethodDataSpacesNative:
+		return "DataSpaces/native"
+	case MethodDIMESADIOS:
+		return "DIMES/ADIOS"
+	case MethodDIMESNative:
+		return "DIMES/native"
+	case MethodDecaf:
+		return "Decaf"
+	case MethodMPIIO:
+		return "MPI-IO"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// UsesADIOS reports whether the method goes through the ADIOS framework.
+func (m Method) UsesADIOS() bool {
+	switch m {
+	case MethodFlexpath, MethodDataSpacesADIOS, MethodDIMESADIOS, MethodMPIIO:
+		return true
+	default:
+		return false
+	}
+}
+
+// Couples reports whether the method moves data at all.
+func (m Method) Couples() bool {
+	return m != MethodSimOnly && m != MethodAnalyticsOnly
+}
+
+// Methods returns every coupling method in Figure 2's order.
+func Methods() []Method {
+	return []Method{
+		MethodSimOnly, MethodAnalyticsOnly,
+		MethodFlexpath,
+		MethodDataSpacesADIOS, MethodDataSpacesNative,
+		MethodDIMESADIOS, MethodDIMESNative,
+		MethodDecaf, MethodMPIIO,
+	}
+}
+
+// WorkloadKind selects the coupled application pair (Table II).
+type WorkloadKind int
+
+// Workloads.
+const (
+	// WorkloadLAMMPS is LAMMPS + mean squared displacement.
+	WorkloadLAMMPS WorkloadKind = iota + 1
+	// WorkloadLaplace is the Laplace solver + moment turbulence analysis.
+	WorkloadLaplace
+	// WorkloadSynthetic is the configurable writer/reader pair.
+	WorkloadSynthetic
+)
+
+// String returns the workload name.
+func (w WorkloadKind) String() string {
+	switch w {
+	case WorkloadLAMMPS:
+		return "LAMMPS+MSD"
+	case WorkloadLaplace:
+		return "Laplace+MTA"
+	case WorkloadSynthetic:
+		return "synthetic"
+	default:
+		return fmt.Sprintf("WorkloadKind(%d)", int(w))
+	}
+}

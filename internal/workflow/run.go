@@ -1,0 +1,485 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/imcstudy/imcstudy/internal/dataspaces"
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/memprof"
+	"github.com/imcstudy/imcstudy/internal/sim"
+	"github.com/imcstudy/imcstudy/internal/staging"
+	"github.com/imcstudy/imcstudy/internal/synthetic"
+	"github.com/imcstudy/imcstudy/internal/trace"
+	"github.com/imcstudy/imcstudy/internal/transport"
+)
+
+// DefaultSteps is the number of coupling steps when Config.Steps is 0.
+const DefaultSteps = 5
+
+// GPUMode selects the accelerator scenario (Section IV-B).
+type GPUMode int
+
+// GPU scenarios.
+const (
+	// GPUOff is the paper's default: host-resident data.
+	GPUOff GPUMode = iota
+	// GPUHostStaged keeps data on the device; every put/get pays a PCIe
+	// copy because the staging libraries only see host memory.
+	GPUHostStaged
+	// GPUDirect stages from device memory over an NVLink-class path (the
+	// hypothetical future system).
+	GPUDirect
+)
+
+// String names the mode.
+func (g GPUMode) String() string {
+	switch g {
+	case GPUOff:
+		return "cpu"
+	case GPUHostStaged:
+		return "gpu-host-staged"
+	case GPUDirect:
+		return "gpu-direct"
+	default:
+		return fmt.Sprintf("GPUMode(%d)", int(g))
+	}
+}
+
+// Config describes one workflow run.
+type Config struct {
+	// Machine is the machine model (hpc.Titan() or hpc.Cori()).
+	Machine hpc.Spec
+	// Method is the coupling method.
+	Method Method
+	// Workload selects the application pair.
+	Workload WorkloadKind
+	// SimProcs and AnaProcs are the processor counts, e.g. (32, 16).
+	SimProcs, AnaProcs int
+	// Steps is the number of coupling steps (default DefaultSteps).
+	Steps int
+	// Dense runs real physics with data verification (small scales only).
+	Dense bool
+
+	// Workload-size overrides (zero = paper scale).
+	LAMMPSAtoms              int
+	LaplaceRows, LaplaceCols int
+	SyntheticLayout          synthetic.Layout // 0 = mismatch
+
+	// Staging options (zero = the paper's defaults).
+	Servers         int
+	ServersPerNodeV int
+	TransportModeV  transport.Mode
+	Hash            dataspaces.HashVersion
+	QueueSizeV      int
+	RDMABufBytes    int64
+	// SharedNode colocates analytics ranks with simulation ranks
+	// (Figure 13's shared-memory mode).
+	SharedNode bool
+
+	// GPU selects the accelerator scenario of Section IV-B: GPUOff runs
+	// host-resident data; GPUHostStaged keeps the working set on the
+	// device and pays D2H/H2D copies around every put/get (what today's
+	// libraries force); GPUDirect stages straight from device memory over
+	// an NVLink-class path (the paper's future-research direction).
+	GPU GPUMode
+
+	// Mitigations (the paper's Table IV suggested resolves).
+	//
+	// RDMAWaitRetry makes RDMA registrations wait instead of crashing.
+	RDMAWaitRetry bool
+	// SocketPoolSize caps each endpoint's socket descriptors (0 = off).
+	SocketPoolSize int
+	// DRCShards distributes the DRC service over several servers (0 = the
+	// production single server).
+	DRCShards int
+
+	// Trace records per-rank activity spans (compute, put, get) for
+	// timeline inspection; see Result.Trace.
+	Trace bool
+
+	// FailStagingNodeAt injects a machine failure (Section IV-C): at the
+	// given virtual time the method's first staging-role node crashes —
+	// a server node for DataSpaces/DIMES/Decaf, a simulation node for
+	// Flexpath (whose staging is writer-side). Zero disables. MPI-IO has
+	// no staging node; its data is already on the filesystem.
+	FailStagingNodeAt float64
+}
+
+// servers returns the staging-server count under the paper's
+// provisioning: Decaf uses one server per analytics processor; DataSpaces
+// one per 8 analytics processors; DIMES four metadata servers.
+func (c Config) servers() int {
+	if c.Servers > 0 {
+		return c.Servers
+	}
+	switch c.Method {
+	case MethodDecaf:
+		return c.AnaProcs
+	case MethodDIMESADIOS, MethodDIMESNative:
+		return 4
+	default:
+		n := c.AnaProcs / 8
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+}
+
+func (c Config) serversPerNode() int {
+	if c.ServersPerNodeV > 0 {
+		return c.ServersPerNodeV
+	}
+	return 2
+}
+
+func (c Config) transport() transport.Mode {
+	if c.TransportModeV != 0 {
+		return c.TransportModeV
+	}
+	return transport.ModeRDMA
+}
+
+func (c Config) queueSize() int {
+	if c.QueueSizeV > 0 {
+		return c.QueueSizeV
+	}
+	return 1
+}
+
+func (c Config) steps() int {
+	if c.Steps > 0 {
+		return c.Steps
+	}
+	return DefaultSteps
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config Config
+	// Failed reports a runtime failure (the Table IV classes); FailErr
+	// carries it.
+	Failed  bool
+	FailErr error
+	// EndToEnd is the virtual end-to-end time of the workflow.
+	EndToEnd sim.Time
+	// PutTime / GetTime are the maximum per-rank cumulative staging times.
+	PutTime, GetTime sim.Time
+	// SimPeakBytes etc. are per-component peak memory (max over ranks).
+	SimPeakBytes, AnaPeakBytes, ServerPeakBytes int64
+	// ServerTotalBytes sums all server peaks.
+	ServerTotalBytes int64
+	// Tracker exposes the full memory time-series.
+	Tracker *memprof.Tracker
+	// DRCRequests/DRCFailures are credential-service counters (Cori).
+	DRCRequests, DRCFailures int64
+	// Verified is true when a dense run checked every consumed block.
+	Verified bool
+	// Trace holds the activity timeline when Config.Trace was set.
+	Trace *trace.Recorder
+}
+
+// Run executes one workflow configuration. Setup mistakes return an
+// error; runtime failures of the modelled systems (out of RDMA memory,
+// DRC overload, socket exhaustion, OOM) are captured in Result.Failed.
+func Run(cfg Config) (Result, error) {
+	if cfg.SimProcs <= 0 || cfg.AnaProcs <= 0 {
+		return Result{}, fmt.Errorf("workflow: procs (%d,%d)", cfg.SimProcs, cfg.AnaProcs)
+	}
+	e := sim.NewEngine()
+	lay, m, err := place(e, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	d, err := buildDriver(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Config: cfg, Tracker: m.Mem}
+	if cfg.Trace {
+		res.Trace = &trace.Recorder{}
+	}
+
+	c, err := buildCoupler(cfg, m, d, lay)
+	if err != nil {
+		// Deployment failures of the modelled systems (index OOM, policy
+		// rejections) are study results, not setup mistakes.
+		res.Failed = true
+		res.FailErr = err
+		return res, nil
+	}
+	defer c.shutdown()
+
+	devices, err := attachGPUs(cfg, m, lay)
+	if err != nil {
+		res.Failed = true
+		res.FailErr = err
+		return res, nil
+	}
+
+	if cfg.FailStagingNodeAt > 0 {
+		if victim := stagingVictim(cfg, lay); victim != nil {
+			e.At(cfg.FailStagingNodeAt, victim.Fail)
+		}
+	}
+
+	steps := cfg.steps()
+	// readDone throttles writers: with max_versions=1 a writer must not
+	// overwrite a version analytics still reads.
+	readDone := staging.NewGate(e, cfg.AnaProcs)
+	throttled := cfg.Method == MethodDataSpacesADIOS || cfg.Method == MethodDataSpacesNative ||
+		cfg.Method == MethodDIMESADIOS || cfg.Method == MethodDIMESNative || cfg.Method == MethodDecaf
+
+	var putTimes, getTimes []sim.Time
+	putTimes = make([]sim.Time, cfg.SimProcs)
+	getTimes = make([]sim.Time, cfg.AnaProcs)
+
+	if cfg.Method != MethodAnalyticsOnly {
+		for i := 0; i < cfg.SimProcs; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("sim-%d", i), func(p *sim.Proc) error {
+				comp := fmt.Sprintf("sim-%d", i)
+				if err := m.Alloc(lay.writerNode(i), comp, "compute", d.computeBytes); err != nil {
+					return err
+				}
+				defer m.Free(lay.writerNode(i), comp, "compute", d.computeBytes)
+				if err := c.initWriter(p, i); err != nil {
+					return err
+				}
+				for s := 0; s < steps; s++ {
+					tc := p.Now()
+					if err := m.Compute(p, d.simSeconds(i)); err != nil {
+						return err
+					}
+					res.Trace.Add(comp, "compute", tc, p.Now())
+					if !cfg.Method.Couples() {
+						continue
+					}
+					if throttled && s > 0 {
+						if err := readDone.WaitReady(p, staging.Key{Var: d.varName, Version: s - 1}); err != nil {
+							return err
+						}
+					}
+					blk, err := d.makeBlock(i, s)
+					if err != nil {
+						return err
+					}
+					t0 := p.Now()
+					if err := gpuOut(p, cfg, devices, lay.writerNode(i), blk.Bytes()); err != nil {
+						return err
+					}
+					if err := c.put(p, i, s, blk); err != nil {
+						return err
+					}
+					c.commit(i, s)
+					putTimes[i] += p.Now() - t0
+					res.Trace.Add(comp, "put", t0, p.Now())
+				}
+				return nil
+			})
+		}
+	}
+
+	verified := cfg.Dense
+	if cfg.Method != MethodSimOnly {
+		for r := 0; r < cfg.AnaProcs; r++ {
+			r := r
+			e.Spawn(fmt.Sprintf("ana-%d", r), func(p *sim.Proc) error {
+				if err := c.initReader(p, r); err != nil {
+					return err
+				}
+				comp := fmt.Sprintf("ana-%d", r)
+				for s := 0; s < steps; s++ {
+					if cfg.Method.Couples() {
+						t0 := p.Now()
+						blk, err := c.get(p, r, s)
+						if err != nil {
+							return err
+						}
+						if err := gpuIn(p, cfg, devices, lay.readerNode(r), blk.Bytes()); err != nil {
+							return err
+						}
+						getTimes[r] += p.Now() - t0
+						res.Trace.Add(comp, "get", t0, p.Now())
+						tc := p.Now()
+						if err := m.Compute(p, d.anaSeconds(r)); err != nil {
+							return err
+						}
+						res.Trace.Add(comp, "analyze", tc, p.Now())
+						if err := d.consume(r, s, blk); err != nil {
+							return err
+						}
+						readDone.Commit(staging.Key{Var: d.varName, Version: s})
+					} else {
+						if err := m.Compute(p, d.anaSeconds(r)); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+		}
+	}
+
+	runErr := e.Run()
+	res.EndToEnd = e.Now()
+	if runErr != nil {
+		res.Failed = true
+		res.FailErr = runErr
+		verified = false
+	}
+	for _, t := range putTimes {
+		if t > res.PutTime {
+			res.PutTime = t
+		}
+	}
+	for _, t := range getTimes {
+		if t > res.GetTime {
+			res.GetTime = t
+		}
+	}
+	res.SimPeakBytes = m.Mem.MaxPeakMatching("sim-")
+	res.AnaPeakBytes = m.Mem.MaxPeakMatching("ana-")
+	res.ServerPeakBytes = maxServerPeak(m.Mem)
+	res.ServerTotalBytes = serverTotal(m.Mem)
+	if m.DRC != nil {
+		res.DRCRequests = m.DRC.Requests()
+		res.DRCFailures = m.DRC.Failures()
+	}
+	res.Verified = verified && cfg.Method.Couples()
+	return res, nil
+}
+
+func maxServerPeak(t *memprof.Tracker) int64 {
+	var max int64
+	for _, prefix := range []string{"dataspaces-server", "dimes-server", "decaf-server"} {
+		if v := t.MaxPeakMatching(prefix); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func serverTotal(t *memprof.Tracker) int64 {
+	var total int64
+	for _, prefix := range []string{"dataspaces-server", "dimes-server", "decaf-server"} {
+		total += t.PeakMatching(prefix)
+	}
+	return total
+}
+
+// place builds the machine and the role-to-node layout.
+func place(e *sim.Engine, cfg Config) (*layout, *hpc.Machine, error) {
+	rpn := cfg.Machine.CoresPerNode
+	simNodes := ceilDiv(cfg.SimProcs, rpn)
+	anaNodes := ceilDiv(cfg.AnaProcs, rpn)
+	hasServers := cfg.Method.Couples() && cfg.Method != MethodFlexpath && cfg.Method != MethodMPIIO
+	serverNodes := 0
+	spn := cfg.serversPerNode()
+	if hasServers {
+		if cfg.SharedNode {
+			// Shared mode colocates the staging servers with the simulation
+			// nodes, spreading them as thinly as possible.
+			spn = ceilDiv(cfg.servers(), simNodes)
+			if spn < 1 {
+				spn = 1
+			}
+		} else {
+			serverNodes = ceilDiv(cfg.servers(), spn)
+		}
+	}
+	total := simNodes + serverNodes
+	if !cfg.SharedNode {
+		total += anaNodes
+	} else if anaNodes > simNodes {
+		return nil, nil, fmt.Errorf("workflow: shared mode needs analytics to fit on simulation nodes")
+	}
+	spec := cfg.Machine
+	if cfg.DRCShards > 0 && spec.DRC != nil {
+		drc := *spec.DRC
+		drc.Shards = cfg.DRCShards
+		spec.DRC = &drc
+	}
+	m, err := hpc.New(e, spec, total)
+	if err != nil {
+		return nil, nil, err
+	}
+	lay := &layout{serversPerNode: spn}
+	lay.simNodes = m.Nodes[:simNodes]
+	next := simNodes
+	if cfg.SharedNode {
+		lay.anaNodes = m.Nodes[:anaNodes]
+		if hasServers {
+			lay.serverNodes = lay.simNodes
+		}
+	} else {
+		lay.anaNodes = m.Nodes[next : next+anaNodes]
+		next += anaNodes
+		lay.serverNodes = m.Nodes[next : next+serverNodes]
+	}
+
+	// Enforce the machine's job-per-node policy (Finding 5).
+	if _, err := m.PlaceJob("sim", 0, simNodes); err != nil {
+		return nil, nil, err
+	}
+	if cfg.SharedNode {
+		if _, err := m.PlaceJob("analytics", 0, anaNodes); err != nil {
+			return nil, nil, err
+		}
+		if hasServers {
+			if _, err := m.PlaceJob("staging", 0, simNodes); err != nil {
+				return nil, nil, err
+			}
+		}
+	} else {
+		if _, err := m.PlaceJob("analytics", simNodes, anaNodes); err != nil {
+			return nil, nil, err
+		}
+		if serverNodes > 0 {
+			if _, err := m.PlaceJob("staging", next, serverNodes); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	lay.writerNode = func(i int) *hpc.Node { return lay.simNodes[i/rpn] }
+	lay.readerNode = func(r int) *hpc.Node {
+		if cfg.SharedNode {
+			// Pair analytics with the simulation ranks they consume.
+			first, _ := readerWriterSpan(cfg.SimProcs, cfg.AnaProcs, r)
+			return lay.simNodes[first/rpn]
+		}
+		return lay.anaNodes[r/rpn]
+	}
+	return lay, m, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// stagingVictim picks the node whose crash the failure injection
+// simulates: where the method's staged data lives.
+func stagingVictim(cfg Config, lay *layout) *hpc.Node {
+	if len(lay.serverNodes) > 0 {
+		return lay.serverNodes[0]
+	}
+	if cfg.Method == MethodFlexpath {
+		return lay.simNodes[0]
+	}
+	return nil // MPI-IO: the staged data is on Lustre, off the compute nodes
+}
+
+// IsResourceFailure reports whether a run failure is one of the Table IV
+// resource classes (as opposed to a logic error).
+func IsResourceFailure(err error) bool {
+	return errors.Is(err, hpc.ErrOutOfNodeMemory) ||
+		errorsIsAny(err)
+}
+
+func errorsIsAny(err error) bool {
+	for _, target := range resourceErrors() {
+		if errors.Is(err, target) {
+			return true
+		}
+	}
+	return false
+}
