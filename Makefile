@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test race bench tidy
+
+# check is the CI gate: compile everything, vet, and run the full test
+# suite under the race detector.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 2x -run '^$$' .
+
+tidy:
+	$(GO) mod tidy

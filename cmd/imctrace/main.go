@@ -1,12 +1,15 @@
 // Command imctrace runs one coupled workflow with activity tracing and
 // writes a Chrome trace-event file (viewable in chrome://tracing or
 // Perfetto) showing every rank's compute, put, get and analyze spans on
-// the virtual timeline.
+// the virtual timeline, put->get dataflow arrows, and counter tracks for
+// every recorded metric time-series (NIC utilization, staging-server
+// footprints, queue depths).
 //
 // Usage:
 //
 //	imctrace [-machine titan|cori] [-method <name>] [-workload lammps|laplace|synthetic]
 //	         [-sim N] [-ana N] [-steps N] [-o trace.json]
+//	imctrace -list
 package main
 
 import (
@@ -16,17 +19,16 @@ import (
 	"strings"
 
 	"github.com/imcstudy/imcstudy"
-	"github.com/imcstudy/imcstudy/internal/workflow"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "imctrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w *os.File) error {
 	fs := flag.NewFlagSet("imctrace", flag.ContinueOnError)
 	machine := fs.String("machine", "titan", "machine model: titan or cori")
 	method := fs.String("method", "DataSpaces/native", "coupling method (as in Figure 2's legend)")
@@ -35,8 +37,13 @@ func run(args []string) error {
 	anaProcs := fs.Int("ana", 16, "analytics processors")
 	steps := fs.Int("steps", 3, "coupling steps")
 	out := fs.String("o", "trace.json", "output trace file")
+	list := fs.Bool("list", false, "list known methods, machines and workloads, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		printChoices(w)
+		return nil
 	}
 
 	cfg := imcstudy.RunConfig{
@@ -44,29 +51,20 @@ func run(args []string) error {
 		AnaProcs: *anaProcs,
 		Steps:    *steps,
 		Trace:    true,
-	}
-	switch strings.ToLower(*machine) {
-	case "titan":
-		cfg.Machine = imcstudy.Titan()
-	case "cori":
-		cfg.Machine = imcstudy.Cori()
-	default:
-		return fmt.Errorf("unknown machine %q", *machine)
+		Metrics:  true,
 	}
 	var ok bool
-	cfg.Method, ok = methodByName(*method)
+	cfg.Machine, ok = imcstudy.MachineByName(*machine)
+	if !ok {
+		return fmt.Errorf("unknown machine %q; known: %s", *machine, machineNames())
+	}
+	cfg.Method, ok = imcstudy.MethodByName(*method)
 	if !ok {
 		return fmt.Errorf("unknown method %q; known: %s", *method, methodNames())
 	}
-	switch strings.ToLower(*workloadName) {
-	case "lammps":
-		cfg.Workload = imcstudy.WorkloadLAMMPS
-	case "laplace":
-		cfg.Workload = imcstudy.WorkloadLaplace
-	case "synthetic":
-		cfg.Workload = imcstudy.WorkloadSynthetic
-	default:
-		return fmt.Errorf("unknown workload %q", *workloadName)
+	cfg.Workload, ok = imcstudy.WorkloadByName(*workloadName)
+	if !ok {
+		return fmt.Errorf("unknown workload %q; known: %s", *workloadName, workloadNames())
 	}
 
 	res, err := imcstudy.Run(cfg)
@@ -76,36 +74,50 @@ func run(args []string) error {
 	if res.Failed {
 		return fmt.Errorf("workflow failed: %w", res.FailErr)
 	}
-	buf, err := res.Trace.ChromeTraceJSON()
+	buf, err := res.TraceJSON()
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("end-to-end %.3f s (virtual): compute %.3f s, put %.3f s, get %.3f s, analyze %.3f s\n",
+	snap := res.Metrics.Snapshot()
+	fmt.Fprintf(w, "end-to-end %.3f s (virtual): compute %.3f s, put %.3f s, get %.3f s, analyze %.3f s\n",
 		res.EndToEnd,
-		res.Trace.TotalBy("compute"),
-		res.Trace.TotalBy("put"),
-		res.Trace.TotalBy("get"),
-		res.Trace.TotalBy("analyze"))
-	fmt.Printf("wrote %d spans to %s\n", len(res.Trace.Spans()), *out)
+		snap.Counters["activity/compute/seconds"],
+		snap.Counters["activity/put/seconds"],
+		snap.Counters["activity/get/seconds"],
+		snap.Counters["activity/analyze/seconds"])
+	fmt.Fprintf(w, "wrote %d spans to %s\n", len(res.Trace.Spans()), *out)
 	return nil
 }
 
-func methodByName(name string) (imcstudy.Method, bool) {
-	for _, m := range workflow.Methods() {
-		if strings.EqualFold(m.String(), name) {
-			return m, true
-		}
-	}
-	return 0, false
+func printChoices(w *os.File) {
+	fmt.Fprintln(w, "methods:  ", methodNames())
+	fmt.Fprintln(w, "machines: ", machineNames())
+	fmt.Fprintln(w, "workloads:", workloadNames())
 }
 
 func methodNames() string {
 	var names []string
-	for _, m := range workflow.Methods() {
+	for _, m := range imcstudy.Methods() {
 		names = append(names, m.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+func machineNames() string {
+	var names []string
+	for _, m := range imcstudy.Machines() {
+		names = append(names, m.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+func workloadNames() string {
+	var names []string
+	for _, wk := range imcstudy.Workloads() {
+		names = append(names, wk.String())
 	}
 	return strings.Join(names, ", ")
 }

@@ -31,9 +31,11 @@ package imcstudy
 
 import (
 	"io"
+	"strings"
 
 	"github.com/imcstudy/imcstudy/internal/core"
 	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/metrics"
 	"github.com/imcstudy/imcstudy/internal/synthetic"
 	"github.com/imcstudy/imcstudy/internal/transport"
 	"github.com/imcstudy/imcstudy/internal/workflow"
@@ -58,6 +60,9 @@ type (
 	ResultTable = core.Table
 	// FindingResult is one verified row of the paper's Table V.
 	FindingResult = core.Finding
+	// MetricsRegistry is a run's telemetry registry (RunResult.Metrics
+	// when RunConfig.Metrics was set); see its EncodeJSON/EncodeCSV.
+	MetricsRegistry = metrics.Registry
 )
 
 // Coupling methods (the series of the paper's Figure 2).
@@ -132,6 +137,31 @@ func Run(cfg RunConfig) (RunResult, error) { return workflow.Run(cfg) }
 
 // Methods returns every coupling method in the paper's order.
 func Methods() []Method { return workflow.Methods() }
+
+// MethodByName resolves a coupling method from its display name
+// (Figure 2's legend), case-insensitively.
+func MethodByName(name string) (Method, bool) { return workflow.MethodByName(name) }
+
+// Workloads returns every workload in the paper's order.
+func Workloads() []WorkloadKind { return workflow.Workloads() }
+
+// WorkloadByName resolves a workload from its display name or short
+// alias (lammps, laplace, synthetic), case-insensitively.
+func WorkloadByName(name string) (WorkloadKind, bool) { return workflow.WorkloadByName(name) }
+
+// Machines returns the study's machine models in the paper's order.
+func Machines() []MachineSpec { return []MachineSpec{Titan(), Cori()} }
+
+// MachineByName resolves a machine model from its name ("titan" or
+// "cori", case-insensitively).
+func MachineByName(name string) (MachineSpec, bool) {
+	for _, m := range Machines() {
+		if strings.EqualFold(m.Name, name) {
+			return m, true
+		}
+	}
+	return MachineSpec{}, false
+}
 
 // Experiment regenerators, one per figure/table of the paper. Each runs
 // the workflows it needs and returns renderable tables.

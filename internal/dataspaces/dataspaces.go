@@ -178,6 +178,17 @@ func Deploy(m *hpc.Machine, cfg Config, nodes []*hpc.Node) (*System, error) {
 		if err := m.Alloc(node, comp, "base", ServerBaseBytes); err != nil {
 			return nil, err
 		}
+		if reg := m.Metrics; reg != nil {
+			if i%cfg.ServersPerNode == 0 {
+				m.WatchNode(comp, node)
+			}
+			if rw := srv.EP.RecvWindowResource(); rw != nil {
+				g := reg.SampledGauge(cfg.Name + "/" + comp + "/recv_queue")
+				rw.SetObserver(func(t sim.Time, used int64, queued int) {
+					g.Set(float64(queued))
+				})
+			}
+		}
 		sys.servers = append(sys.servers, srv)
 	}
 	return sys, nil
@@ -219,9 +230,18 @@ func (s *System) DefineDims(varName string, global ndarray.Box) error {
 		if err := s.m.Alloc(srv.Node, srv.comp, "index", perServer); err != nil {
 			return fmt.Errorf("dataspaces SFC index for %s: %w", varName, err)
 		}
-		srv.indexBytes += perServer
+		s.addIndexBytes(srv, perServer)
 	}
 	return nil
+}
+
+// addIndexBytes grows server index memory, mirroring it into the metrics
+// registry as an index-size track.
+func (s *System) addIndexBytes(srv *Server, delta int64) {
+	srv.indexBytes += delta
+	if reg := s.m.Metrics; reg != nil {
+		reg.SampledGauge(s.cfg.Name + "/" + srv.comp + "/index_bytes").Add(float64(delta))
+	}
 }
 
 // Regions returns the staging regions of a defined variable.
@@ -300,6 +320,11 @@ func (c *Client) Put(p *sim.Proc, varName string, version int, blk ndarray.Block
 	if err != nil {
 		return err
 	}
+	if reg := c.sys.m.Metrics; reg != nil {
+		g := reg.SampledGauge(c.sys.cfg.Name + "/puts_inflight")
+		g.Add(1)
+		defer g.Add(-1)
+	}
 	key := staging.Key{Var: varName, Version: version}
 	for i, region := range regions {
 		overlap, ok := blk.Box.Intersect(region)
@@ -327,7 +352,7 @@ func (c *Client) Put(p *sim.Proc, varName string, version int, blk ndarray.Block
 			if err := c.sys.m.Alloc(srv.Node, srv.comp, "index", BBoxEntryBytes); err != nil {
 				return err
 			}
-			srv.indexBytes += BBoxEntryBytes
+			c.sys.addIndexBytes(srv, BBoxEntryBytes)
 		}
 	}
 	// Register the object descriptor with the key's DHT home server.
@@ -377,6 +402,11 @@ func (c *Client) Get(p *sim.Proc, varName string, version int, box ndarray.Box) 
 	if err != nil {
 		return ndarray.Block{}, err
 	}
+	if reg := c.sys.m.Metrics; reg != nil {
+		g := reg.SampledGauge(c.sys.cfg.Name + "/gets_inflight")
+		g.Add(1)
+		defer g.Add(-1)
+	}
 	key := staging.Key{Var: varName, Version: version}
 	if err := c.sys.gate.WaitReady(p, key); err != nil {
 		return ndarray.Block{}, err
@@ -419,7 +449,7 @@ func (s *System) Shutdown() {
 		s.m.Free(srv.Node, srv.comp, "base", ServerBaseBytes)
 		if srv.indexBytes > 0 {
 			s.m.Free(srv.Node, srv.comp, "index", srv.indexBytes)
-			srv.indexBytes = 0
+			s.addIndexBytes(srv, -srv.indexBytes)
 		}
 	}
 }

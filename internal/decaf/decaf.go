@@ -195,6 +195,9 @@ func Deploy(m *hpc.Machine, g *Graph, world *mpi.Comm, colocated bool) (*System,
 				if err := m.Alloc(world.Node(r), comp, "base", dflowBaseBytes); err != nil {
 					return nil, err
 				}
+				if m.Metrics != nil {
+					m.WatchNode(comp, world.Node(r))
+				}
 				sys.stores = append(sys.stores, store)
 				sys.dflows = append(sys.dflows, r)
 			}
@@ -279,6 +282,11 @@ func (c *Client) Put(p *sim.Proc, varName string, version int, chunk Chunk) erro
 	if _, ok := c.sys.vars[varName]; !ok {
 		return fmt.Errorf("%w: %s", ErrUndefinedVar, varName)
 	}
+	if reg := c.sys.m.Metrics; reg != nil {
+		g := reg.SampledGauge(c.sys.name + "/puts_inflight")
+		g.Add(1)
+		defer g.Add(-1)
+	}
 	if err := c.sys.m.Compute(p, float64(chunk.Bytes())/TransformBytesPerSec); err != nil {
 		return err
 	}
@@ -336,6 +344,11 @@ func (c *Client) Commit(varName string, version int) {
 // transformation cost.
 func (c *Client) Get(p *sim.Proc, varName string, version int, offset, count uint64) (Chunk, error) {
 	key := staging.Key{Var: varName, Version: version}
+	if reg := c.sys.m.Metrics; reg != nil {
+		g := reg.SampledGauge(c.sys.name + "/gets_inflight")
+		g.Add(1)
+		defer g.Add(-1)
+	}
 	if err := c.sys.gate.WaitReady(p, key); err != nil {
 		return Chunk{}, err
 	}

@@ -141,6 +141,9 @@ func Deploy(m *hpc.Machine, cfg Config, nodes []*hpc.Node) (*System, error) {
 		if err := m.Alloc(node, comp, "base", MetaServerBaseBytes); err != nil {
 			return nil, err
 		}
+		if m.Metrics != nil && i%cfg.MetaServersPerNode == 0 {
+			m.WatchNode(comp, node)
+		}
 		sys.servers = append(sys.servers, srv)
 	}
 	return sys, nil
@@ -215,6 +218,11 @@ func (c *Client) Init(p *sim.Proc) error {
 // server; nothing moves to a staging server. Old versions beyond
 // MaxVersions are evicted first.
 func (c *Client) Put(p *sim.Proc, varName string, version int, blk ndarray.Block) error {
+	if mreg := c.sys.m.Metrics; mreg != nil {
+		g := mreg.SampledGauge(c.sys.cfg.Name + "/puts_inflight")
+		g.Add(1)
+		defer g.Add(-1)
+	}
 	c.evict(varName, version)
 	if c.pinBytes+blk.Bytes() > c.sys.cfg.RDMABufBytes {
 		return fmt.Errorf("%w: %s holds %d, wants %d more of %d",
@@ -238,7 +246,7 @@ func (c *Client) Put(p *sim.Proc, varName string, version int, blk ndarray.Block
 	if reg != nil {
 		c.pinned[key] = append(c.pinned[key], reg)
 	}
-	c.pinBytes += blk.Bytes()
+	c.addPinBytes(blk.Bytes())
 	if c.keyBytes[key] == 0 {
 		vs := c.versions[varName]
 		c.versions[varName] = append(vs, version)
@@ -252,7 +260,7 @@ func (c *Client) Put(p *sim.Proc, varName string, version int, blk ndarray.Block
 	if err := c.sys.m.Alloc(srv.Node, srv.comp, "metadata", MetaEntryBytes); err != nil {
 		return err
 	}
-	srv.entries++
+	c.sys.addEntries(srv, 1)
 	c.sys.owners[key] = append(c.sys.owners[key], ownerEntry{box: blk.Box.Clone(), client: c})
 	return nil
 }
@@ -276,7 +284,7 @@ func (c *Client) evict(varName string, version int) {
 			reg.Deregister()
 		}
 		delete(c.pinned, key)
-		c.pinBytes -= c.keyBytes[key]
+		c.addPinBytes(-c.keyBytes[key])
 		delete(c.keyBytes, key)
 		c.store.DropVersion(key)
 	}
@@ -292,6 +300,11 @@ func (c *Client) Commit(varName string, version int) {
 // (dimes_get): one metadata round-trip, then memory-to-memory transfers
 // whose source side is already registered (the DIMES buffer pool).
 func (c *Client) Get(p *sim.Proc, varName string, version int, box ndarray.Box) (ndarray.Block, error) {
+	if mreg := c.sys.m.Metrics; mreg != nil {
+		g := mreg.SampledGauge(c.sys.cfg.Name + "/gets_inflight")
+		g.Add(1)
+		defer g.Add(-1)
+	}
 	key := staging.Key{Var: varName, Version: version}
 	if err := c.sys.gate.WaitReady(p, key); err != nil {
 		return ndarray.Block{}, err
@@ -340,7 +353,7 @@ func (c *Client) Close() {
 		}
 		delete(c.pinned, key)
 	}
-	c.pinBytes = 0
+	c.addPinBytes(-c.pinBytes)
 	c.store.Close()
 	c.ep.Close()
 }
@@ -351,7 +364,7 @@ func (s *System) Shutdown() {
 		s.m.Free(srv.Node, srv.comp, "base", MetaServerBaseBytes)
 		if srv.entries > 0 {
 			s.m.Free(srv.Node, srv.comp, "metadata", srv.entries*MetaEntryBytes)
-			srv.entries = 0
+			s.addEntries(srv, -srv.entries)
 		}
 		srv.EP.Close()
 	}
@@ -360,3 +373,21 @@ func (s *System) Shutdown() {
 // RDMADomain returns the client's per-process RDMA domain (nil in socket
 // mode).
 func (c *Client) RDMADomain() *rdma.Domain { return c.ep.Domain() }
+
+// addPinBytes moves the client's pinned-byte count and the aggregate
+// pinned-bytes track.
+func (c *Client) addPinBytes(delta int64) {
+	c.pinBytes += delta
+	if mreg := c.sys.m.Metrics; mreg != nil {
+		mreg.SampledGauge(c.sys.cfg.Name + "/pinned_bytes").Add(float64(delta))
+	}
+}
+
+// addEntries moves a metadata server's entry count and its index-size
+// track (entries are the DIMES analogue of the DataSpaces spatial index).
+func (s *System) addEntries(srv *MetaServer, delta int64) {
+	srv.entries += delta
+	if mreg := s.m.Metrics; mreg != nil {
+		mreg.SampledGauge(s.cfg.Name + "/" + srv.comp + "/index_bytes").Add(float64(delta * MetaEntryBytes))
+	}
+}

@@ -191,12 +191,22 @@ func (w *Writer) Publish(p *sim.Proc, varName string, version int, blk ndarray.B
 	if _, ok := w.declared[varName]; !ok {
 		return fmt.Errorf("%w: %s by %s", ErrNotDeclared, varName, w.name)
 	}
+	mreg := w.sys.m.Metrics
+	if mreg != nil {
+		g := mreg.SampledGauge(w.sys.cfg.Name + "/puts_inflight")
+		g.Add(1)
+		defer g.Add(-1)
+	}
 	// Back-pressure on the bounded queue.
+	t0 := p.Now()
 	for len(w.queues[varName]) >= w.sys.cfg.QueueSize {
 		oldest := w.queues[varName][0]
 		if _, err := p.Wait(oldest.drained); err != nil {
 			return err
 		}
+	}
+	if mreg != nil {
+		mreg.Histogram(w.sys.cfg.Name + "/backpressure_wait_s").Observe(p.Now() - t0)
 	}
 	// FFS encode (self-describing envelope + CPU cost for the payload).
 	envelope, err := ffs.Encode(blockSchema, ffs.Record{
@@ -223,6 +233,7 @@ func (w *Writer) Publish(p *sim.Proc, varName string, version int, blk ndarray.B
 		drained:   w.sys.m.E.NewEvent(),
 	}
 	w.queues[varName] = append(w.queues[varName], entry)
+	w.sys.addQueued(1)
 	w.publishedEvent(key).Fire(nil)
 	// Notify subscribers (small typed event).
 	for _, r := range subscribers {
@@ -239,6 +250,7 @@ func (w *Writer) Publish(p *sim.Proc, varName string, version int, blk ndarray.B
 // dequeue retires a fully-consumed entry, freeing its staged data.
 func (w *Writer) dequeue(varName string, entry *queueEntry) {
 	w.store.DropVersion(entry.key)
+	w.sys.addQueued(-1)
 	q := w.queues[varName]
 	for i, e := range q {
 		if e == entry {
@@ -352,6 +364,11 @@ func (r *Reader) Fetch(p *sim.Proc, varName string, version int) (ndarray.Block,
 	if len(writers) == 0 {
 		return ndarray.Block{}, fmt.Errorf("%w: %s has no producers", ErrNotDeclared, varName)
 	}
+	if mreg := r.sys.m.Metrics; mreg != nil {
+		g := mreg.SampledGauge(r.sys.cfg.Name + "/gets_inflight")
+		g.Add(1)
+		defer g.Add(-1)
+	}
 	key := staging.Key{Var: varName, Version: version}
 	var parts []ndarray.Block
 	for _, w := range writers {
@@ -404,3 +421,12 @@ func (w *Writer) findEntry(varName string, key staging.Key) *queueEntry {
 
 // Close releases the reader's transport state.
 func (r *Reader) Close() { r.ep.Close() }
+
+// addQueued moves the fabric-wide unconsumed-version track (the sum of
+// every writer's bounded queue — the back-pressure signal of Table I's
+// queue_size setting).
+func (s *System) addQueued(delta int) {
+	if mreg := s.m.Metrics; mreg != nil {
+		mreg.SampledGauge(s.cfg.Name + "/queue_depth").Add(float64(delta))
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/imcstudy/imcstudy/internal/lustre"
 	"github.com/imcstudy/imcstudy/internal/memprof"
+	"github.com/imcstudy/imcstudy/internal/metrics"
 	"github.com/imcstudy/imcstudy/internal/rdma"
 	"github.com/imcstudy/imcstudy/internal/sim"
 )
@@ -122,6 +123,20 @@ type Machine struct {
 	FS    *lustre.FS
 	DRC   *rdma.DRC
 	Mem   *memprof.Tracker
+
+	// Metrics is the run's telemetry registry; nil (the default) disables
+	// recording everywhere, mirroring trace.Recorder's nil-receiver
+	// pattern. Every layer holding a *Machine records through this field.
+	Metrics *metrics.Registry
+
+	watched []watchedNode
+}
+
+// watchedNode is a node whose NIC utilization is sampled into the
+// registry on every network rate recomputation.
+type watchedNode struct {
+	label string
+	node  *Node
 }
 
 // New builds a machine with nNodes nodes on the given engine.
@@ -163,6 +178,37 @@ func New(e *sim.Engine, spec Spec, nNodes int) (*Machine, error) {
 
 // Spec returns the machine specification.
 func (m *Machine) Spec() Spec { return m.SpecV }
+
+// EnableMetrics attaches a telemetry registry and starts sampling NIC
+// utilization of every node registered with WatchNode (before or after
+// this call) on each network rate recomputation. A nil registry turns
+// telemetry off again.
+func (m *Machine) EnableMetrics(reg *metrics.Registry) {
+	m.Metrics = reg
+	if reg == nil {
+		m.Net.SetRateObserver(nil)
+		return
+	}
+	m.Net.SetRateObserver(func(t sim.Time) {
+		for _, w := range m.watched {
+			reg.Series("nic/"+w.label+"/in_util").Append(t, w.node.in.Utilization())
+			reg.Series("nic/"+w.label+"/out_util").Append(t, w.node.out.Utilization())
+		}
+	})
+}
+
+// WatchNode registers a node for NIC-utilization sampling under the
+// given label (e.g. "server-0"). Watching the same node twice under
+// different labels duplicates its samples; under the same label it is a
+// no-op.
+func (m *Machine) WatchNode(label string, n *Node) {
+	for _, w := range m.watched {
+		if w.label == label {
+			return
+		}
+	}
+	m.watched = append(m.watched, watchedNode{label: label, node: n})
+}
 
 // Compute advances the process by refSeconds of Titan-equivalent compute.
 func (m *Machine) Compute(p *sim.Proc, refSeconds float64) error {

@@ -10,8 +10,10 @@ package memprof
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
+	"github.com/imcstudy/imcstudy/internal/metrics"
 	"github.com/imcstudy/imcstudy/internal/sim"
 )
 
@@ -161,6 +163,34 @@ func (t *Tracker) MaxPeakMatching(prefix string) int64 {
 		}
 	}
 	return max
+}
+
+// BridgeTo copies the memory profile of every component matching one of
+// the name prefixes into the registry: the full time-series becomes a
+// `mem/<component>` series and the peak a `mem/<component>/peak` gauge.
+// This makes the metrics report the single source of truth for the
+// paper's memory figures (5-7, 11). A nil registry is a no-op.
+func (t *Tracker) BridgeTo(reg *metrics.Registry, prefixes ...string) {
+	if reg == nil {
+		return
+	}
+	for _, c := range t.Components() {
+		matched := len(prefixes) == 0
+		for _, p := range prefixes {
+			if strings.HasPrefix(c.name, p) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		s := reg.Series("mem/" + c.name)
+		for _, smp := range c.Series() {
+			s.Append(smp.T, float64(smp.Bytes))
+		}
+		reg.Gauge("mem/" + c.name + "/peak").Set(float64(c.Peak()))
+	}
 }
 
 // String summarizes peaks for debugging.

@@ -21,6 +21,7 @@ const (
 // Barrier blocks until every rank of the communicator has entered it
 // (central gather-and-release through rank 0).
 func (r *Rank) Barrier(p *sim.Proc) error {
+	defer r.enterOp("barrier")()
 	n := r.c.Size()
 	if n == 1 {
 		return nil
@@ -48,6 +49,7 @@ func (r *Rank) Barrier(p *sim.Proc) error {
 // Bcast distributes root's payload to every rank and returns the local
 // copy of it.
 func (r *Rank) Bcast(p *sim.Proc, root int, bytes int64, payload any) (any, error) {
+	defer r.enterOp("bcast")()
 	if r.id == root {
 		for i := 0; i < r.c.Size(); i++ {
 			if i == root {
@@ -69,6 +71,7 @@ func (r *Rank) Bcast(p *sim.Proc, root int, bytes int64, payload any) (any, erro
 // Gather collects every rank's payload at root, ordered by rank. Non-root
 // ranks return nil.
 func (r *Rank) Gather(p *sim.Proc, root int, bytes int64, payload any) ([]any, error) {
+	defer r.enterOp("gather")()
 	if r.id != root {
 		return nil, r.Send(p, root, tagGather, bytes, payload)
 	}
@@ -87,6 +90,7 @@ func (r *Rank) Gather(p *sim.Proc, root int, bytes int64, payload any) ([]any, e
 // AllreduceSum sums a float64 slice across ranks (gather at rank 0,
 // reduce, broadcast) and returns the reduced slice on every rank.
 func (r *Rank) AllreduceSum(p *sim.Proc, vals []float64) ([]float64, error) {
+	defer r.enterOp("allreduce")()
 	bytes := int64(len(vals) * 8)
 	parts, err := r.Gather(p, 0, bytes, vals)
 	if err != nil {
@@ -123,6 +127,7 @@ func (r *Rank) AllreduceSum(p *sim.Proc, vals []float64) ([]float64, error) {
 // returns the parts received from every rank, indexed by source. Entries
 // with zero bytes and nil payload are skipped.
 func (r *Rank) Alltoallv(p *sim.Proc, sendBytes []int64, sendParts []any) ([]any, error) {
+	defer r.enterOp("alltoallv")()
 	n := r.c.Size()
 	if len(sendBytes) != n || len(sendParts) != n {
 		return nil, fmt.Errorf("mpi: alltoallv wants %d parts, got %d/%d", n, len(sendBytes), len(sendParts))
@@ -161,6 +166,7 @@ type alltoallPart struct {
 // Scatter distributes parts[i] (each of bytes wire bytes) from root to
 // rank i, returning the local part on every rank.
 func (r *Rank) Scatter(p *sim.Proc, root int, bytes int64, parts []any) (any, error) {
+	defer r.enterOp("scatter")()
 	if r.id == root {
 		if len(parts) != r.c.Size() {
 			return nil, fmt.Errorf("mpi: scatter wants %d parts, got %d", r.c.Size(), len(parts))
@@ -184,6 +190,7 @@ func (r *Rank) Scatter(p *sim.Proc, root int, bytes int64, parts []any) (any, er
 
 // ReduceSum sums float64 slices at root (non-root ranks return nil).
 func (r *Rank) ReduceSum(p *sim.Proc, root int, vals []float64) ([]float64, error) {
+	defer r.enterOp("reduce")()
 	bytes := int64(len(vals) * 8)
 	parts, err := r.Gather(p, root, bytes, vals)
 	if err != nil {

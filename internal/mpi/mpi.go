@@ -116,6 +116,7 @@ func (c *Comm) Sub(ranks []int) (*Comm, error) {
 type Rank struct {
 	c  *Comm
 	id int
+	op string // collective currently attributing traffic, "" = point-to-point
 }
 
 // Rank returns the handle for rank id; the caller must invoke its methods
@@ -130,6 +131,34 @@ func (c *Comm) Rank(id int) (*Rank, error) {
 // ID returns the rank number.
 func (r *Rank) ID() int { return r.id }
 
+// enterOp attributes the rank's traffic to the named collective until the
+// returned leave function runs. Nested collectives (allreduce over gather
+// and bcast) keep the outermost attribution.
+func (r *Rank) enterOp(name string) (leave func()) {
+	if r.op != "" {
+		return func() {}
+	}
+	r.op = name
+	if reg := r.c.m.Metrics; reg != nil {
+		reg.Counter("mpi/" + name + "/calls").Inc()
+	}
+	return func() { r.op = "" }
+}
+
+// countMsg records one message under the current collective (or p2p).
+func (r *Rank) countMsg(bytes int64) {
+	reg := r.c.m.Metrics
+	if reg == nil {
+		return
+	}
+	op := r.op
+	if op == "" {
+		op = "p2p"
+	}
+	reg.Counter("mpi/" + op + "/msgs").Inc()
+	reg.Counter("mpi/" + op + "/bytes").Add(float64(bytes))
+}
+
 // NodeOf returns the node hosting this rank.
 func (r *Rank) NodeOf() *hpc.Node { return r.c.nodes[r.id] }
 
@@ -139,6 +168,7 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, bytes int64, payload any) error {
 	if dst < 0 || dst >= r.c.Size() {
 		return fmt.Errorf("%w: send to %d of %d", ErrRankRange, dst, r.c.Size())
 	}
+	r.countMsg(bytes)
 	if err := r.wire(p, dst, bytes); err != nil {
 		return err
 	}
@@ -152,6 +182,7 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, bytes int64, payload any) (*sim.
 	if dst < 0 || dst >= r.c.Size() {
 		return nil, fmt.Errorf("%w: isend to %d of %d", ErrRankRange, dst, r.c.Size())
 	}
+	r.countMsg(bytes) // at initiation, so the collective attribution holds
 	done := p.Engine().NewEvent()
 	rr := r
 	p.Engine().Spawn(fmt.Sprintf("isend-%d-%d", r.id, dst), func(sp *sim.Proc) error {

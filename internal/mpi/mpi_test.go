@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/metrics"
 	"github.com/imcstudy/imcstudy/internal/sim"
 )
 
@@ -352,5 +353,44 @@ func TestScatterAndReduce(t *testing.T) {
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCollectiveTrafficAttribution(t *testing.T) {
+	e, c, spawn := newWorld(t, 4, 2)
+	reg := metrics.NewRegistry(e.Now)
+	c.Machine().EnableMetrics(reg)
+	spawn(func(r *Rank, p *sim.Proc) error {
+		if _, err := r.Bcast(p, 0, 1024, nil); err != nil {
+			return err
+		}
+		if _, err := r.AllreduceSum(p, []float64{1}); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["mpi/bcast/calls"]; got != 4 {
+		t.Errorf("mpi/bcast/calls = %v, want 4", got)
+	}
+	if snap.Counters["mpi/bcast/msgs"] == 0 || snap.Counters["mpi/bcast/bytes"] == 0 {
+		t.Errorf("bcast traffic not recorded: %v", snap.Counters)
+	}
+	if got := snap.Counters["mpi/allreduce/calls"]; got != 4 {
+		t.Errorf("mpi/allreduce/calls = %v, want 4", got)
+	}
+	if snap.Counters["mpi/allreduce/msgs"] == 0 {
+		t.Errorf("allreduce traffic not recorded: %v", snap.Counters)
+	}
+	// Allreduce runs over an inner gather and bcast; its traffic must keep
+	// the outermost attribution.
+	if got := snap.Counters["mpi/gather/calls"]; got != 0 {
+		t.Errorf("inner gather attributed separately: calls = %v", got)
+	}
+	if got := snap.Counters["mpi/p2p/msgs"]; got != 0 {
+		t.Errorf("collective traffic leaked to p2p: %v msgs", got)
 	}
 }

@@ -18,6 +18,7 @@ type Link struct {
 
 	bytesMoved float64
 	flowsEver  int64
+	curRate    float64
 }
 
 // Name returns the link name.
@@ -31,6 +32,18 @@ func (l *Link) BytesMoved() float64 { return l.bytesMoved }
 
 // Flows returns the number of flows that have ever traversed the link.
 func (l *Link) Flows() int64 { return l.flowsEver }
+
+// CurrentRate returns the aggregate rate (bytes per second) assigned to
+// the flows traversing the link at the current instant; zero when idle.
+func (l *Link) CurrentRate() float64 { return l.curRate }
+
+// Utilization returns CurrentRate as a fraction of capacity.
+func (l *Link) Utilization() float64 {
+	if l.rate <= 0 {
+		return 0
+	}
+	return l.curRate / l.rate
+}
 
 // Net is a max-min fair bandwidth-sharing network. Each flow traverses a
 // set of links; flow rates are assigned by progressive filling (the
@@ -52,7 +65,20 @@ type Net struct {
 	// Scratch buffers for assignRates, indexed by link id.
 	remCap []float64
 	count  []int
+
+	rated   []*Link // links holding a non-stale curRate from the last assignment
+	onRates func(t Time)
 }
+
+// Links returns every link in creation order.
+func (n *Net) Links() []*Link { return n.links }
+
+// SetRateObserver installs fn, called after every rate recomputation with
+// the current virtual time; per-link assigned rates are then readable via
+// Link.CurrentRate. Telemetry uses this to sample NIC utilization without
+// the sim package knowing about the metrics registry. A nil fn removes
+// the observer.
+func (n *Net) SetRateObserver(fn func(t Time)) { n.onRates = fn }
 
 type netFlow struct {
 	remaining float64
@@ -137,6 +163,9 @@ func (n *Net) flush() {
 	n.dirty = false
 	n.assignRates()
 	n.scheduleNext()
+	if n.onRates != nil {
+		n.onRates(n.e.now)
+	}
 }
 
 // advance integrates flow progress at current rates up to the present.
@@ -160,6 +189,9 @@ func (n *Net) advance() {
 // and subtract their demand from the other links they traverse. Iteration
 // is in stable link-id order so runs are deterministic.
 func (n *Net) assignRates() {
+	for _, l := range n.rated {
+		l.curRate = 0
+	}
 	var active []*Link
 	for _, f := range n.flows {
 		f.fixed = false
@@ -229,10 +261,17 @@ func (n *Net) assignRates() {
 			}
 		}
 	}
-	// Reset scratch counters for the next recomputation.
+	// Reset scratch counters for the next recomputation, and roll up the
+	// per-link aggregate rates the observer reads.
 	for _, l := range active {
 		n.count[l.id] = 0
 	}
+	for _, f := range n.flows {
+		for _, l := range f.links {
+			l.curRate += f.rate
+		}
+	}
+	n.rated = append(n.rated[:0], active...)
 }
 
 // scheduleNext arranges a callback at the earliest flow completion.

@@ -21,6 +21,11 @@ type Resource struct {
 	used     int64
 	peak     int64
 	waiters  []*resWaiter
+
+	waits     int64
+	totalWait Time
+	peakQueue int
+	onChange  func(t Time, used int64, queued int)
 }
 
 type resWaiter struct {
@@ -48,6 +53,30 @@ func (r *Resource) Peak() int64 { return r.peak }
 // Available returns the unheld amount.
 func (r *Resource) Available() int64 { return r.capacity - r.used }
 
+// QueueLen returns the number of processes currently waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// PeakQueue returns the maximum number of simultaneous waiters ever seen.
+func (r *Resource) PeakQueue() int { return r.peakQueue }
+
+// Waits returns how many Acquire calls had to block.
+func (r *Resource) Waits() int64 { return r.waits }
+
+// WaitTime returns the total virtual time Acquire callers spent blocked.
+func (r *Resource) WaitTime() Time { return r.totalWait }
+
+// SetObserver installs fn, called with the current virtual time whenever
+// the held amount or the wait-queue depth changes. Telemetry uses this to
+// build queue-depth counter tracks without the sim package knowing about
+// the metrics registry. A nil fn removes the observer.
+func (r *Resource) SetObserver(fn func(t Time, used int64, queued int)) { r.onChange = fn }
+
+func (r *Resource) notify() {
+	if r.onChange != nil {
+		r.onChange(r.e.now, r.used, len(r.waiters))
+	}
+}
+
 // TryAcquire takes n units immediately, or returns ErrResourceExhausted
 // without blocking. Requests larger than the total capacity always fail.
 func (r *Resource) TryAcquire(n int64) error {
@@ -74,9 +103,16 @@ func (p *Proc) Acquire(r *Resource, n int64) error {
 		return nil
 	}
 	r.waiters = append(r.waiters, &resWaiter{p: p, n: n})
+	if len(r.waiters) > r.peakQueue {
+		r.peakQueue = len(r.waiters)
+	}
+	r.waits++
+	r.notify()
+	t0 := r.e.now
 	if err := p.block(); err != nil {
 		return err
 	}
+	r.totalWait += r.e.now - t0
 	return nil
 }
 
@@ -95,6 +131,7 @@ func (r *Resource) Release(n int64) {
 		r.take(w.n)
 		r.e.unblock(w.p)
 	}
+	r.notify()
 }
 
 func (r *Resource) take(n int64) {
@@ -102,4 +139,5 @@ func (r *Resource) take(n int64) {
 	if r.used > r.peak {
 		r.peak = r.used
 	}
+	r.notify()
 }

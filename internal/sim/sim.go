@@ -32,6 +32,10 @@ var ErrAborted = errors.New("sim: process aborted")
 // are still blocked.
 var ErrDeadlock = errors.New("sim: deadlock: processes blocked with empty event queue")
 
+// ErrDeadline is returned by Run when the virtual clock passes the deadline
+// set with SetDeadline.
+var ErrDeadline = errors.New("sim: virtual deadline exceeded")
+
 type wakeMsg struct {
 	aborted bool
 }
@@ -202,9 +206,11 @@ func (p *Proc) Sleep(d Time) error {
 }
 
 // Run executes the simulation until no events remain. It returns the
-// combined error of all failed processes, ErrDeadlock if live processes
-// remain blocked, or nil on a clean finish.
+// combined error of all failed processes, ErrDeadline if the clock passed
+// the SetDeadline time, ErrDeadlock if live processes remain blocked, or
+// nil on a clean finish.
 func (e *Engine) Run() error {
+	deadlineHit := false
 	for e.queue.Len() > 0 {
 		if e.failed {
 			e.abortAll()
@@ -215,7 +221,15 @@ func (e *Engine) Run() error {
 			continue
 		}
 		if it.t > e.maxTime {
-			e.errs = append(e.errs, fmt.Errorf("sim: virtual deadline %.3fs exceeded", e.maxTime))
+			deadlineHit = true
+			e.errs = append(e.errs, fmt.Errorf("%w: %.3fs", ErrDeadline, e.maxTime))
+			// The popped item is in neither the queue nor the blocked map;
+			// abort its process here or the goroutine leaks and the run is
+			// misreported as a deadlock.
+			if it.proc != nil && !it.proc.done {
+				e.resume(it.proc, wakeMsg{aborted: true})
+			}
+			e.abortAll()
 			break
 		}
 		e.now = it.t
@@ -228,7 +242,7 @@ func (e *Engine) Run() error {
 			it.fn()
 		}
 	}
-	if e.live > 0 {
+	if e.live > 0 && !deadlineHit {
 		names := make([]string, 0, len(e.blocked))
 		for p := range e.blocked {
 			names = append(names, p.name)

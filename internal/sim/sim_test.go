@@ -186,4 +186,31 @@ func TestDeadlineStopsRun(t *testing.T) {
 	if err == nil {
 		t.Fatal("Run: want deadline error, got nil")
 	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Run error = %v, want ErrDeadline", err)
+	}
+}
+
+func TestDeadlineIsNotDeadlock(t *testing.T) {
+	// Regression: a deadline-exceeded run used to fall through to the
+	// live > 0 branch and spuriously report ErrDeadlock on top of the
+	// deadline error, leaking the popped process's goroutine.
+	e := NewEngine()
+	e.SetDeadline(10)
+	ev := e.NewEvent()
+	e.Spawn("long", func(p *Proc) error { return p.Sleep(100) })
+	e.Spawn("parked", func(p *Proc) error {
+		_, err := p.Wait(ev)
+		return err
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Run error = %v, want ErrDeadline", err)
+	}
+	if errors.Is(err, ErrDeadlock) {
+		t.Fatalf("Run error = %v, spurious ErrDeadlock", err)
+	}
+	if e.live != 0 {
+		t.Fatalf("live = %d after deadline abort, want 0", e.live)
+	}
 }

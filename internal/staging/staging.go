@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/imcstudy/imcstudy/internal/hpc"
 	"github.com/imcstudy/imcstudy/internal/ndarray"
@@ -189,7 +190,30 @@ func (s *Store) Put(key Key, blk ndarray.Block) error {
 	}
 	set.add(blk)
 	s.bytes[key] += cost
+	s.count("put", 1, cost)
 	return nil
+}
+
+// count records store telemetry: aggregate object/byte counters for every
+// store, plus per-component sampled tracks for staging servers (the
+// memory-resident processes the paper profiles); per-rank client stores
+// stay out of the per-component namespace so large runs don't bloat the
+// report.
+func (s *Store) count(op string, objects, cost int64) {
+	reg := s.m.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("staging/" + op + "/objects").Add(float64(objects))
+	reg.Counter("staging/" + op + "/bytes").Add(float64(cost))
+	if strings.Contains(s.component, "server") {
+		sign := 1.0
+		if op == "drop" {
+			sign = -1
+		}
+		reg.Gauge("staging/" + s.component + "/objects").Add(sign * float64(objects))
+		reg.SampledGauge("staging/" + s.component + "/bytes").Add(sign * float64(cost))
+	}
 }
 
 // evictFor drops the oldest versions of a variable until a new version
@@ -226,6 +250,7 @@ func (s *Store) BytesStored(key Key) int64 { return s.bytes[key] }
 // DropVersion frees all blocks of key and returns the memory.
 func (s *Store) DropVersion(key Key) {
 	if cost, ok := s.bytes[key]; ok {
+		s.count("drop", int64(len(s.blocks[key].blocks)), cost)
 		s.m.Free(s.node, s.component, s.kind, cost)
 		delete(s.bytes, key)
 		delete(s.blocks, key)

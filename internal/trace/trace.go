@@ -1,7 +1,9 @@
-// Package trace records per-component activity spans on the virtual
-// clock and exports them in the Chrome trace-event format, so a workflow
-// run's timeline (compute, staging puts/gets, waits) can be inspected in
-// chrome://tracing or Perfetto.
+// Package trace records per-component activity spans, cross-component
+// flows and counter tracks on the virtual clock, and exports them in the
+// Chrome trace-event format, so a workflow run's timeline (compute,
+// staging puts/gets, waits), put→get data-flow arrows and NIC/memory
+// counter tracks can be inspected in chrome://tracing or Perfetto (open
+// the JSON at https://ui.perfetto.dev).
 package trace
 
 import (
@@ -14,30 +16,83 @@ import (
 
 // Span is one activity interval of a component.
 type Span struct {
-	Component string   `json:"component"`
-	Name      string   `json:"name"`
-	Start     sim.Time `json:"start"`
-	End       sim.Time `json:"end"`
+	Component string            `json:"component"`
+	Name      string            `json:"name"`
+	Start     sim.Time          `json:"start"`
+	End       sim.Time          `json:"end"`
+	Args      map[string]string `json:"args,omitempty"`
 }
 
 // Duration returns the span length.
 func (s Span) Duration() sim.Time { return s.End - s.Start }
 
-// Recorder accumulates spans. The zero value is ready to use; a nil
-// recorder ignores all calls, so call sites need no guards.
+// FlowPoint is one end of a cross-component flow arrow: a start anchors
+// to the span enclosing (Component, T) — e.g. the put that produced a
+// block — and the matching end (same ID) anchors to the span that
+// consumed it.
+type FlowPoint struct {
+	ID        uint64   `json:"id"`
+	Component string   `json:"component"`
+	T         sim.Time `json:"t"`
+	End       bool     `json:"end"`
+}
+
+// Recorder accumulates spans and flow points. The zero value is ready to
+// use; a nil recorder ignores all calls, so call sites need no guards.
 type Recorder struct {
 	spans []Span
+	flows []FlowPoint
 }
 
 // Add records one span; calls on a nil recorder are dropped.
 func (r *Recorder) Add(component, name string, start, end sim.Time) {
+	r.AddSpan(component, name, start, end, nil)
+}
+
+// AddSpan records one span with optional args shown in the trace
+// viewer's detail pane; calls on a nil recorder are dropped.
+func (r *Recorder) AddSpan(component, name string, start, end sim.Time, args map[string]string) {
 	if r == nil {
 		return
 	}
 	if end < start {
 		end = start
 	}
-	r.spans = append(r.spans, Span{Component: component, Name: name, Start: start, End: end})
+	r.spans = append(r.spans, Span{Component: component, Name: name, Start: start, End: end, Args: args})
+}
+
+// FlowStart records the producing end of flow id on component at time t
+// (typically the end of a put span).
+func (r *Recorder) FlowStart(id uint64, component string, t sim.Time) {
+	if r == nil {
+		return
+	}
+	r.flows = append(r.flows, FlowPoint{ID: id, Component: component, T: t})
+}
+
+// FlowEnd records the consuming end of flow id on component at time t
+// (typically the end of the matching get span).
+func (r *Recorder) FlowEnd(id uint64, component string, t sim.Time) {
+	if r == nil {
+		return
+	}
+	r.flows = append(r.flows, FlowPoint{ID: id, Component: component, T: t, End: true})
+}
+
+// Flows returns the recorded flow points sorted by (ID, end).
+func (r *Recorder) Flows() []FlowPoint {
+	if r == nil {
+		return nil
+	}
+	out := make([]FlowPoint, len(r.flows))
+	copy(out, r.flows)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return !out[i].End && out[j].End
+	})
+	return out
 }
 
 // Spans returns the recorded spans sorted by start time (stable across
@@ -66,14 +121,35 @@ func (r *Recorder) TotalBy(name string) sim.Time {
 	return total
 }
 
+// CounterSample is one point of a counter track.
+type CounterSample struct {
+	T sim.Time
+	V float64
+}
+
+// CounterTrack is a named time-series rendered as a Perfetto counter
+// track ("C" events) alongside the span timeline.
+type CounterTrack struct {
+	Name    string
+	Samples []CounterSample
+}
+
+// ExportOptions selects the extra event kinds ChromeTraceJSONWith emits
+// beyond the span timeline.
+type ExportOptions struct {
+	// Counters become "C" events, one Perfetto counter track per entry.
+	Counters []CounterTrack
+}
+
 // chromeEvent is one Chrome trace-event ("X" = complete event).
 type chromeEvent struct {
-	Name  string  `json:"name"`
-	Phase string  `json:"ph"`
-	TS    float64 `json:"ts"`  // microseconds
-	Dur   float64 `json:"dur"` // microseconds
-	PID   int     `json:"pid"`
-	TID   int     `json:"tid"`
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`  // microseconds
+	Dur   float64           `json:"dur"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
 }
 
 // chromeMeta names a thread in the trace viewer.
@@ -85,33 +161,96 @@ type chromeMeta struct {
 	Args  map[string]string `json:"args"`
 }
 
+// chromeCounter is one "C" counter event; the viewer draws one counter
+// track per name.
+type chromeCounter struct {
+	Name  string             `json:"name"`
+	Phase string             `json:"ph"`
+	TS    float64            `json:"ts"`
+	PID   int                `json:"pid"`
+	Args  map[string]float64 `json:"args"`
+}
+
+// chromeFlow is one legacy flow event: "s" starts an arrow, "f" with
+// bp:"e" finishes it bound to the enclosing slice. cat+name+id must match
+// across the pair.
+type chromeFlow struct {
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat"`
+	Phase string  `json:"ph"`
+	ID    uint64  `json:"id"`
+	TS    float64 `json:"ts"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	BP    string  `json:"bp,omitempty"`
+}
+
 // ChromeTraceJSON renders the spans as a Chrome trace-event array: one
 // "thread" per component, virtual seconds mapped to microseconds.
 func (r *Recorder) ChromeTraceJSON() ([]byte, error) {
+	return r.ChromeTraceJSONWith(ExportOptions{})
+}
+
+// ChromeTraceJSONWith renders spans, flow arrows, and the counter tracks
+// in opts as one Chrome trace-event array. Output is deterministic:
+// spans sort by start time, flow points by (id, end), counter tracks
+// keep the caller's order.
+func (r *Recorder) ChromeTraceJSONWith(opts ExportOptions) ([]byte, error) {
 	spans := r.Spans()
 	tids := make(map[string]int)
 	var events []any
-	for _, s := range spans {
-		tid, ok := tids[s.Component]
+	tidOf := func(component string) int {
+		tid, ok := tids[component]
 		if !ok {
 			tid = len(tids) + 1
-			tids[s.Component] = tid
+			tids[component] = tid
 			events = append(events, chromeMeta{
 				Name:  "thread_name",
 				Phase: "M",
 				PID:   1,
 				TID:   tid,
-				Args:  map[string]string{"name": s.Component},
+				Args:  map[string]string{"name": component},
 			})
 		}
+		return tid
+	}
+	for _, s := range spans {
 		events = append(events, chromeEvent{
 			Name:  s.Name,
 			Phase: "X",
 			TS:    s.Start * 1e6,
 			Dur:   s.Duration() * 1e6,
 			PID:   1,
-			TID:   tid,
+			TID:   tidOf(s.Component),
+			Args:  s.Args,
 		})
+	}
+	for _, f := range r.Flows() {
+		ev := chromeFlow{
+			Name:  "dataflow",
+			Cat:   "dataflow",
+			Phase: "s",
+			ID:    f.ID,
+			TS:    f.T * 1e6,
+			PID:   1,
+			TID:   tidOf(f.Component),
+		}
+		if f.End {
+			ev.Phase = "f"
+			ev.BP = "e"
+		}
+		events = append(events, ev)
+	}
+	for _, track := range opts.Counters {
+		for _, s := range track.Samples {
+			events = append(events, chromeCounter{
+				Name:  track.Name,
+				Phase: "C",
+				TS:    s.T * 1e6,
+				PID:   1,
+				Args:  map[string]float64{"value": s.V},
+			})
+		}
 	}
 	buf, err := json.Marshal(events)
 	if err != nil {

@@ -137,6 +137,11 @@ func NewEndpoint(m *hpc.Machine, node *hpc.Node, job, name string, mode Mode) *E
 // uGNI profile talks to the DRC credential service.
 func (ep *Endpoint) UseProtocol(proto rdma.Protocol) { ep.proto = proto }
 
+// RecvWindowResource returns the endpoint's bounded pool of posted
+// receive descriptors (nil in socket mode). Staging servers hang a
+// queue-depth observer on it to expose the N-to-1 receive backlog.
+func (ep *Endpoint) RecvWindowResource() *sim.Resource { return ep.recvWindow }
+
 // Protocol returns the endpoint's RDMA protocol profile.
 func (ep *Endpoint) Protocol() rdma.Protocol { return ep.proto }
 
@@ -245,6 +250,7 @@ func (ep *Endpoint) Send(p *sim.Proc, peer *Endpoint, bytes int64, opts SendOpts
 	}
 	if ep.node == peer.node {
 		// Intra-node: a memory copy over the node's bus (Figure 13).
+		ep.count("bus", bytes)
 		if err := p.Sleep(ep.m.SpecV.NICLatency); err != nil {
 			return err
 		}
@@ -265,6 +271,7 @@ func (ep *Endpoint) sendRDMA(p *sim.Proc, peer *Endpoint, bytes int64, opts Send
 		// Eager/bounce path: the payload is copied through pre-registered
 		// pool buffers at the receiver; no transient registration, and all
 		// senders fair-share the receiver's NIC.
+		ep.count("rdma_eager", bytes)
 		if err := p.Sleep(ep.m.SpecV.NICLatency); err != nil {
 			return err
 		}
@@ -272,14 +279,24 @@ func (ep *Endpoint) sendRDMA(p *sim.Proc, peer *Endpoint, bytes int64, opts Send
 	}
 	// Both sides process a bounded number of concurrent bulk transfers
 	// (posted receive/send descriptors); extra senders queue FIFO.
+	ep.count("rdma_bulk", bytes)
+	reg := ep.m.Metrics
+	t0 := p.Now()
 	if err := p.Acquire(ep.sendWindow, 1); err != nil {
 		return err
 	}
 	defer ep.sendWindow.Release(1)
+	if reg != nil {
+		reg.Histogram("transport/send_window_wait_s").Observe(p.Now() - t0)
+	}
+	t0 = p.Now()
 	if err := p.Acquire(peer.recvWindow, 1); err != nil {
 		return err
 	}
 	defer peer.recvWindow.Release(1)
+	if reg != nil {
+		reg.Histogram("transport/recv_window_wait_s").Observe(p.Now() - t0)
+	}
 	var regs []*rdma.Region
 	defer func() {
 		for _, r := range regs {
@@ -331,8 +348,20 @@ func (ep *Endpoint) sendSocket(p *sim.Proc, peer *Endpoint, bytes int64) error {
 		return err
 	}
 	// The kernel-stack memory copies shrink the usable NIC bandwidth.
+	ep.count("socket", bytes)
 	effBytes := float64(bytes) / ep.m.SpecV.SocketEff
 	return p.Transfer(ep.m.Net, effBytes, ep.node.Out(), peer.node.In())
+}
+
+// count records one message on a transport path; no-op without a
+// registry on the machine.
+func (ep *Endpoint) count(path string, bytes int64) {
+	reg := ep.m.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("transport/" + path + "/msgs").Inc()
+	reg.Counter("transport/" + path + "/bytes").Add(float64(bytes))
 }
 
 // Close tears down all connections (releasing one descriptor per node per

@@ -6,7 +6,10 @@
 // modes of Table IV.
 package workflow
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Method selects the coupling method (the series of Figure 2).
 type Method int
@@ -85,6 +88,17 @@ func Methods() []Method {
 	}
 }
 
+// MethodByName resolves a method from its display name (as printed by
+// String, matched case-insensitively).
+func MethodByName(name string) (Method, bool) {
+	for _, m := range Methods() {
+		if strings.EqualFold(m.String(), name) {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
 // WorkloadKind selects the coupled application pair (Table II).
 type WorkloadKind int
 
@@ -110,4 +124,26 @@ func (w WorkloadKind) String() string {
 	default:
 		return fmt.Sprintf("WorkloadKind(%d)", int(w))
 	}
+}
+
+// Workloads returns every workload in Table II's order.
+func Workloads() []WorkloadKind {
+	return []WorkloadKind{WorkloadLAMMPS, WorkloadLaplace, WorkloadSynthetic}
+}
+
+// WorkloadByName resolves a workload from its display name or short
+// alias (lammps, laplace, synthetic), case-insensitively.
+func WorkloadByName(name string) (WorkloadKind, bool) {
+	switch strings.ToLower(name) {
+	case "lammps":
+		return WorkloadLAMMPS, true
+	case "laplace":
+		return WorkloadLaplace, true
+	}
+	for _, w := range Workloads() {
+		if strings.EqualFold(w.String(), name) {
+			return w, true
+		}
+	}
+	return 0, false
 }

@@ -3,10 +3,12 @@ package workflow
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"github.com/imcstudy/imcstudy/internal/dataspaces"
 	"github.com/imcstudy/imcstudy/internal/hpc"
 	"github.com/imcstudy/imcstudy/internal/memprof"
+	"github.com/imcstudy/imcstudy/internal/metrics"
 	"github.com/imcstudy/imcstudy/internal/sim"
 	"github.com/imcstudy/imcstudy/internal/staging"
 	"github.com/imcstudy/imcstudy/internal/synthetic"
@@ -98,6 +100,12 @@ type Config struct {
 	// timeline inspection; see Result.Trace.
 	Trace bool
 
+	// Metrics records virtual-clock telemetry (NIC utilization, per-
+	// collective MPI traffic, staging-server object/index/memory tracks,
+	// activity totals) into Result.Metrics. Off by default: a nil registry
+	// makes every instrumentation site a no-op.
+	Metrics bool
+
 	// FailStagingNodeAt injects a machine failure (Section IV-C): at the
 	// given virtual time the method's first staging-role node crashes —
 	// a server node for DataSpaces/DIMES/Decaf, a simulation node for
@@ -178,6 +186,31 @@ type Result struct {
 	Verified bool
 	// Trace holds the activity timeline when Config.Trace was set.
 	Trace *trace.Recorder
+	// Metrics holds the telemetry registry when Config.Metrics was set.
+	// Its JSON/CSV encodings are byte-identical across runs of the same
+	// configuration (the engine is deterministic and the encoders sort).
+	Metrics *metrics.Registry
+}
+
+// TraceJSON renders the run's timeline as Chrome/Perfetto trace JSON.
+// When metrics were also recorded, every registry time-series becomes a
+// counter track, so NIC utilization, staging-server footprints and queue
+// depths render alongside the activity spans and put->get flow arrows.
+func (r *Result) TraceJSON() ([]byte, error) {
+	if r.Trace == nil {
+		return nil, errors.New("workflow: run had Config.Trace disabled")
+	}
+	var opts trace.ExportOptions
+	if r.Metrics != nil {
+		for _, name := range r.Metrics.SeriesNames() {
+			track := trace.CounterTrack{Name: name}
+			for _, s := range r.Metrics.Series(name).Samples() {
+				track.Samples = append(track.Samples, trace.CounterSample{T: s.T, V: s.V})
+			}
+			opts.Counters = append(opts.Counters, track)
+		}
+	}
+	return r.Trace.ChromeTraceJSONWith(opts)
 }
 
 // Run executes one workflow configuration. Setup mistakes return an
@@ -199,6 +232,36 @@ func Run(cfg Config) (Result, error) {
 	res := Result{Config: cfg, Tracker: m.Mem}
 	if cfg.Trace {
 		res.Trace = &trace.Recorder{}
+	}
+	if cfg.Metrics {
+		// Enable before buildCoupler so the staging models register their
+		// server nodes for NIC sampling during Deploy.
+		res.Metrics = metrics.NewRegistry(e.Now)
+		m.EnableMetrics(res.Metrics)
+		m.WatchNode("sim-0", lay.simNodes[0])
+		m.WatchNode("ana-0", lay.anaNodes[0])
+	}
+	reg := res.Metrics
+	// span records one activity interval in both outputs; the recorder and
+	// registry are nil-safe, so disabled telemetry costs only the calls.
+	span := func(comp, name string, t0, t1 sim.Time, args map[string]string) {
+		res.Trace.AddSpan(comp, name, t0, t1, args)
+		if reg != nil {
+			reg.Counter("activity/" + name + "/seconds").Add(t1 - t0)
+			reg.Counter("activity/" + name + "/count").Inc()
+		}
+	}
+	// stepArgs labels a traced span; nil when tracing is off so the hot
+	// path allocates nothing.
+	stepArgs := func(s int, bytes int64) map[string]string {
+		if res.Trace == nil {
+			return nil
+		}
+		a := map[string]string{"step": strconv.Itoa(s)}
+		if bytes > 0 {
+			a["bytes"] = strconv.FormatInt(bytes, 10)
+		}
+		return a
 	}
 
 	c, err := buildCoupler(cfg, m, d, lay)
@@ -235,6 +298,10 @@ func Run(cfg Config) (Result, error) {
 	putTimes = make([]sim.Time, cfg.SimProcs)
 	getTimes = make([]sim.Time, cfg.AnaProcs)
 
+	// flowID names the dataflow arrow from writer i's put of step s to the
+	// get of the reader covering i; IDs start at 1 (0 is reserved).
+	flowID := func(s, i int) uint64 { return uint64(s*cfg.SimProcs+i) + 1 }
+
 	if cfg.Method != MethodAnalyticsOnly {
 		for i := 0; i < cfg.SimProcs; i++ {
 			i := i
@@ -252,7 +319,7 @@ func Run(cfg Config) (Result, error) {
 					if err := m.Compute(p, d.simSeconds(i)); err != nil {
 						return err
 					}
-					res.Trace.Add(comp, "compute", tc, p.Now())
+					span(comp, "compute", tc, p.Now(), stepArgs(s, 0))
 					if !cfg.Method.Couples() {
 						continue
 					}
@@ -274,7 +341,10 @@ func Run(cfg Config) (Result, error) {
 					}
 					c.commit(i, s)
 					putTimes[i] += p.Now() - t0
-					res.Trace.Add(comp, "put", t0, p.Now())
+					span(comp, "put", t0, p.Now(), stepArgs(s, blk.Bytes()))
+					// The flow start sits at the put's end so Perfetto binds
+					// the arrow tail to the put slice.
+					res.Trace.FlowStart(flowID(s, i), comp, p.Now())
 				}
 				return nil
 			})
@@ -301,12 +371,20 @@ func Run(cfg Config) (Result, error) {
 							return err
 						}
 						getTimes[r] += p.Now() - t0
-						res.Trace.Add(comp, "get", t0, p.Now())
+						span(comp, "get", t0, p.Now(), stepArgs(s, blk.Bytes()))
+						if res.Trace != nil {
+							// Close the dataflow arrows from every writer this
+							// reader covers (the inverse of readerWriterSpan).
+							first, count := readerWriterSpan(cfg.SimProcs, cfg.AnaProcs, r)
+							for w := first; w < first+count; w++ {
+								res.Trace.FlowEnd(flowID(s, w), comp, p.Now())
+							}
+						}
 						tc := p.Now()
 						if err := m.Compute(p, d.anaSeconds(r)); err != nil {
 							return err
 						}
-						res.Trace.Add(comp, "analyze", tc, p.Now())
+						span(comp, "analyze", tc, p.Now(), stepArgs(s, 0))
 						if err := d.consume(r, s, blk); err != nil {
 							return err
 						}
@@ -347,8 +425,46 @@ func Run(cfg Config) (Result, error) {
 		res.DRCRequests = m.DRC.Requests()
 		res.DRCFailures = m.DRC.Failures()
 	}
+	finalizeMetrics(&res, m)
 	res.Verified = verified && cfg.Method.Couples()
 	return res, nil
+}
+
+// finalizeMetrics folds end-of-run machine state into the registry:
+// per-link traffic and mean utilization, contended-resource wait stats,
+// DRC counters, and the memory profiles of the staging servers and lead
+// ranks — making the metrics report the single source of truth for the
+// paper's bandwidth and memory figures.
+func finalizeMetrics(res *Result, m *hpc.Machine) {
+	reg := res.Metrics
+	if reg == nil {
+		return
+	}
+	elapsed := res.EndToEnd
+	for _, l := range m.Net.Links() {
+		if l.BytesMoved() == 0 {
+			continue
+		}
+		reg.Counter("net/" + l.Name() + "/bytes").Add(l.BytesMoved())
+		if elapsed > 0 && l.Rate() > 0 {
+			reg.Gauge("net/" + l.Name() + "/mean_util").Set(l.BytesMoved() / (l.Rate() * elapsed))
+		}
+	}
+	for _, n := range m.Nodes {
+		for _, r := range []*sim.Resource{n.Mem, n.Socks} {
+			if r.Waits() == 0 {
+				continue
+			}
+			reg.Counter("resource/" + r.Name() + "/waits").Add(float64(r.Waits()))
+			reg.Counter("resource/" + r.Name() + "/wait_s").Add(r.WaitTime())
+			reg.Gauge("resource/" + r.Name() + "/peak_queue").Set(float64(r.PeakQueue()))
+		}
+	}
+	if m.DRC != nil {
+		reg.Counter("drc/requests").Add(float64(m.DRC.Requests()))
+		reg.Counter("drc/failures").Add(float64(m.DRC.Failures()))
+	}
+	m.Mem.BridgeTo(reg, "dataspaces-server", "dimes-server", "decaf-server", "sim-0", "ana-0")
 }
 
 func maxServerPeak(t *memprof.Tracker) int64 {
