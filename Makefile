@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench tidy
+.PHONY: check build vet test race bench fuzz tidy
 
-# check is the CI gate: compile everything, vet, and run the full test
-# suite under the race detector.
-check: build vet race
+# check is the CI gate: compile everything, vet, run the full test
+# suite under the race detector, and give the fuzzers a short shake.
+check: build vet race fuzz
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,11 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 2x -run '^$$' .
+
+# fuzz runs the native fuzzers briefly; saved crashers in testdata/fuzz
+# replay as regular regression tests under `make test`.
+fuzz:
+	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzBlockSetQuery -fuzztime 5s
 
 tidy:
 	$(GO) mod tidy

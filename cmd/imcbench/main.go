@@ -74,29 +74,30 @@ func registry(o imcstudy.ExperimentOptions) map[string]func() []*imcstudy.Result
 		return func() []*imcstudy.ResultTable { return f(o) }
 	}
 	return map[string]func() []*imcstudy.ResultTable{
-		"table1":      one(imcstudy.Table1),
-		"table2":      one(imcstudy.Table2),
-		"table3":      one(imcstudy.Table3),
-		"table4":      one(imcstudy.Table4),
-		"table5":      one(imcstudy.Table5),
-		"fig2a":       many(imcstudy.Fig2a),
-		"fig2b":       many(imcstudy.Fig2b),
-		"fig3":        one(imcstudy.Fig3),
-		"fig4":        one(imcstudy.Fig4),
-		"fig5":        many(imcstudy.Fig5),
-		"fig6":        one(imcstudy.Fig6),
-		"fig7":        one(imcstudy.Fig7),
-		"fig8":        one(imcstudy.Fig8),
-		"fig9":        one(imcstudy.Fig9),
-		"fig10":       many(imcstudy.Fig10),
-		"fig11":       one(imcstudy.Fig11),
-		"fig12":       one(imcstudy.Fig12),
-		"fig13":       many(imcstudy.Fig13),
-		"findings":    findingsTables(o),
-		"mitigations": one(imcstudy.Mitigations),
-		"ablations":   many(imcstudy.Ablations),
-		"gpustudy":    one(imcstudy.GPUStudy),
-		"resilience":  one(imcstudy.Resilience),
+		"table1":          one(imcstudy.Table1),
+		"table2":          one(imcstudy.Table2),
+		"table3":          one(imcstudy.Table3),
+		"table4":          one(imcstudy.Table4),
+		"table5":          one(imcstudy.Table5),
+		"fig2a":           many(imcstudy.Fig2a),
+		"fig2b":           many(imcstudy.Fig2b),
+		"fig3":            one(imcstudy.Fig3),
+		"fig4":            one(imcstudy.Fig4),
+		"fig5":            many(imcstudy.Fig5),
+		"fig6":            one(imcstudy.Fig6),
+		"fig7":            one(imcstudy.Fig7),
+		"fig8":            one(imcstudy.Fig8),
+		"fig9":            one(imcstudy.Fig9),
+		"fig10":           many(imcstudy.Fig10),
+		"fig11":           one(imcstudy.Fig11),
+		"fig12":           one(imcstudy.Fig12),
+		"fig13":           many(imcstudy.Fig13),
+		"findings":        findingsTables(o),
+		"mitigations":     one(imcstudy.Mitigations),
+		"ablations":       many(imcstudy.Ablations),
+		"gpustudy":        one(imcstudy.GPUStudy),
+		"resilience":      one(imcstudy.Resilience),
+		"resilience-cost": one(imcstudy.ResilienceCost),
 	}
 }
 

@@ -10,12 +10,18 @@
 // Usage:
 //
 //	imcreport [-machine titan|cori] [-method <name>] [-workload lammps|laplace|synthetic]
-//	          [-sim N] [-ana N] [-steps N]
+//	          [-sim N] [-ana N] [-steps N] [-servers N]
+//	          [-fail-staging-at T] [-replication K] [-checkpoint-every N]
 //	          [-json metrics.json] [-csv metrics.csv] [-trace trace.json]
 //	imcreport -list
+//
+// Exit status: 0 on a clean run, 2 when the modelled workflow itself
+// failed (e.g. an injected crash killed an unprotected method), 1 on
+// usage or I/O errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,9 +32,17 @@ import (
 	"github.com/imcstudy/imcstudy"
 )
 
+// errWorkflowFailed marks a run that completed but ended in failure
+// (Result.Failed), so scripted sweeps can tell "the modelled workflow
+// crashed" (exit 2) apart from usage or I/O errors (exit 1).
+var errWorkflowFailed = errors.New("workflow failed")
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "imcreport:", err)
+		if errors.Is(err, errWorkflowFailed) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -41,6 +55,10 @@ func run(args []string, w io.Writer) error {
 	simProcs := fs.Int("sim", 32, "simulation processors")
 	anaProcs := fs.Int("ana", 16, "analytics processors")
 	steps := fs.Int("steps", 3, "coupling steps")
+	failStagingAt := fs.Float64("fail-staging-at", 0, "crash a staging node at this virtual time (0 = no fault)")
+	replication := fs.Int("replication", 0, "replicate staged objects across k distinct-node servers (0/1 = off)")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "persist every Nth version to Lustre as a fallback (0 = off)")
+	servers := fs.Int("servers", 0, "staging servers (0 = method default; replication needs enough distinct server nodes)")
 	jsonOut := fs.String("json", "metrics.json", "metrics JSON output file (empty = skip)")
 	csvOut := fs.String("csv", "", "metrics CSV output file (empty = skip)")
 	traceOut := fs.String("trace", "trace.json", "Perfetto trace output file (empty = skip)")
@@ -56,11 +74,15 @@ func run(args []string, w io.Writer) error {
 	}
 
 	cfg := imcstudy.RunConfig{
-		SimProcs: *simProcs,
-		AnaProcs: *anaProcs,
-		Steps:    *steps,
-		Metrics:  true,
-		Trace:    *traceOut != "",
+		SimProcs:          *simProcs,
+		AnaProcs:          *anaProcs,
+		Steps:             *steps,
+		Servers:           *servers,
+		FailStagingNodeAt: *failStagingAt,
+		Replication:       *replication,
+		CheckpointEvery:   *checkpointEvery,
+		Metrics:           true,
+		Trace:             *traceOut != "",
 	}
 	var ok bool
 	cfg.Machine, ok = imcstudy.MachineByName(*machine)
@@ -81,7 +103,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if res.Failed {
-		return fmt.Errorf("workflow failed: %w", res.FailErr)
+		return fmt.Errorf("%w: %v", errWorkflowFailed, res.FailErr)
 	}
 
 	if *jsonOut != "" {

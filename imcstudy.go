@@ -63,6 +63,27 @@ type (
 	// MetricsRegistry is a run's telemetry registry (RunResult.Metrics
 	// when RunConfig.Metrics was set); see its EncodeJSON/EncodeCSV.
 	MetricsRegistry = metrics.Registry
+	// FaultPlan is a seed-deterministic schedule of injected faults
+	// (RunConfig.Faults): node crashes, link degradations, timeout windows.
+	FaultPlan = workflow.FaultPlan
+	// NodeCrash fails one node abruptly at a virtual time.
+	NodeCrash = workflow.NodeCrash
+	// LinkDegradation throttles a node's NIC for a window.
+	LinkDegradation = workflow.LinkDegradation
+	// TimeoutWindow charges extra latency on a node's messages for a window.
+	TimeoutWindow = workflow.TimeoutWindow
+	// FaultRole names the node pool a fault targets.
+	FaultRole = workflow.FaultRole
+)
+
+// Fault target roles.
+const (
+	// RoleStaging targets the method's staging nodes.
+	RoleStaging = workflow.RoleStaging
+	// RoleSim targets simulation nodes.
+	RoleSim = workflow.RoleSim
+	// RoleAna targets analytics nodes.
+	RoleAna = workflow.RoleAna
 )
 
 // Coupling methods (the series of the paper's Figure 2).
@@ -214,8 +235,13 @@ var (
 	// direct-staging scenario of Section IV-B.
 	GPUStudy = core.GPUStudy
 	// Resilience injects a mid-run node failure and records which methods
-	// survive (Section IV-C extension).
+	// survive (Section IV-C extension), unprotected and under the
+	// testbed's replication and checkpoint-fallback protection.
 	Resilience = core.Resilience
+	// ResilienceCost prices the protection mechanisms on a healthy run
+	// (replication factor and checkpoint interval vs the unprotected
+	// baseline).
+	ResilienceCost = core.ResilienceCost
 )
 
 // RenderTables writes tables as aligned text.

@@ -366,15 +366,48 @@ func TestChartAllPicksNumericColumn(t *testing.T) {
 
 func TestResilienceOnlyFileBaselineSurvives(t *testing.T) {
 	table := Resilience(Options{Steps: 1})
+	if len(table.Rows) != 8 {
+		t.Fatalf("resilience rows = %d, want 5 unprotected + 3 protected", len(table.Rows))
+	}
 	for _, row := range table.Rows {
-		if row[0] == "MPI-IO" {
-			if !strings.HasPrefix(row[1], "survived") {
-				t.Fatalf("MPI-IO outcome = %q, want survived", row[1])
+		method, protection, outcome, class := row[0], row[1], row[2], row[3]
+		switch {
+		case protection != "none":
+			// The protected reruns must survive the same crashes.
+			if !strings.HasPrefix(outcome, "survived") {
+				t.Fatalf("%s with %s outcome = %q, want survived", method, protection, outcome)
 			}
-			continue
+		case method == "MPI-IO":
+			if !strings.HasPrefix(outcome, "survived") {
+				t.Fatalf("MPI-IO outcome = %q, want survived", outcome)
+			}
+		default:
+			if outcome != "workflow crashed" || class != "node-failure" {
+				t.Fatalf("%s outcome = %q/%q, want crash on node failure", method, outcome, class)
+			}
 		}
-		if row[1] != "workflow crashed" || row[2] != "node-failure" {
-			t.Fatalf("%s outcome = %q/%q, want crash on node failure", row[0], row[1], row[2])
+	}
+}
+
+func TestResilienceCostOverheadOrdering(t *testing.T) {
+	table := ResilienceCost(Options{Quick: true, Steps: 1})
+	if len(table.Rows) != 3 {
+		t.Fatalf("resilience-cost quick rows = %d, want 3", len(table.Rows))
+	}
+	for i, row := range table.Rows {
+		if row[1] == "ERR" || row[1] == "FAILED" {
+			t.Fatalf("row %d (%s) = %v", i, row[0], row)
 		}
+	}
+	// Replication must report replica traffic, checkpointing must report
+	// Lustre checkpoint traffic; the unprotected baseline neither.
+	if base := table.Rows[0]; base[3] != "0" || base[4] != "0" {
+		t.Fatalf("baseline row reports protection traffic: %v", base)
+	}
+	if repl := table.Rows[1]; repl[3] == "0" {
+		t.Fatalf("replication row reports no replicated bytes: %v", repl)
+	}
+	if ckpt := table.Rows[2]; ckpt[4] == "0" {
+		t.Fatalf("checkpoint row reports no checkpoint bytes: %v", ckpt)
 	}
 }

@@ -97,6 +97,8 @@ func failureClass(err error) string {
 		return "out-of-sockets"
 	case errors.Is(err, hpc.ErrOutOfNodeMemory):
 		return "out-of-main-memory"
+	case errors.Is(err, hpc.ErrNodeFailed):
+		return "node-failure"
 	case errors.Is(err, dimes.ErrBufferFull):
 		return "RDMA-buffer-full"
 	case errors.Is(err, decaf.ErrHeterogeneous):

@@ -23,6 +23,7 @@ package dataspaces
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/imcstudy/imcstudy/internal/hpc"
 	"github.com/imcstudy/imcstudy/internal/ndarray"
@@ -98,6 +99,14 @@ type Config struct {
 	WaitRetry bool
 	// SocketPool caps each endpoint's descriptors; 0 disables pooling.
 	SocketPool int
+	// Replication stores every staged object on this many servers placed
+	// on distinct nodes, with failover reads and detection-triggered
+	// re-replication — the resilience layer Section IV-C notes no staging
+	// library ships. <= 1 disables it (the library's true behaviour).
+	Replication int
+	// Detector drives failover reads and recovery when Replication > 1.
+	// Deploy creates a default one if left nil.
+	Detector *staging.Detector
 }
 
 // withDefaults fills unset fields.
@@ -139,6 +148,16 @@ type System struct {
 	global  map[string]ndarray.Box
 	regions map[string][]ndarray.Box
 	gate    *staging.Gate
+
+	// extras are replacement replicas recovery created, keyed by
+	// "var/regionIndex"; reads and replicated writes consult them after
+	// the static replica chain.
+	extras map[string][]*Server
+
+	recObjects int64
+	recBytes   int64
+	recTime    sim.Time
+	recovered  bool
 }
 
 // Deploy creates the staging servers on the given nodes (ServersPerNode
@@ -163,6 +182,7 @@ func Deploy(m *hpc.Machine, cfg Config, nodes []*hpc.Node) (*System, error) {
 		global:  make(map[string]ndarray.Box),
 		regions: make(map[string][]ndarray.Box),
 		gate:    staging.NewGate(m.E, cfg.Writers),
+		extras:  make(map[string][]*Server),
 	}
 	for i := 0; i < cfg.Servers; i++ {
 		node := nodes[i/cfg.ServersPerNode]
@@ -190,6 +210,24 @@ func Deploy(m *hpc.Machine, cfg Config, nodes []*hpc.Node) (*System, error) {
 			}
 		}
 		sys.servers = append(sys.servers, srv)
+	}
+	if cfg.Replication > 1 {
+		distinct := make(map[*hpc.Node]bool)
+		for _, srv := range sys.servers {
+			distinct[srv.Node] = true
+		}
+		if len(distinct) < cfg.Replication {
+			return nil, fmt.Errorf("dataspaces: replication %d needs servers on %d distinct nodes, have %d",
+				cfg.Replication, cfg.Replication, len(distinct))
+		}
+		if sys.cfg.Detector == nil {
+			sys.cfg.Detector = staging.NewDetector(m, staging.DetectorConfig{})
+		}
+		sys.cfg.Detector.Watch(func(n *hpc.Node, _ sim.Time) {
+			m.E.Spawn(fmt.Sprintf("%s-recover-%s", cfg.Name, n.Name()), func(p *sim.Proc) error {
+				return sys.recover(p, n)
+			})
+		})
 	}
 	return sys, nil
 }
@@ -256,6 +294,179 @@ func (s *System) Regions(varName string) ([]ndarray.Box, error) {
 // IndexBytes returns server i's index memory.
 func (s *System) IndexBytes(i int) int64 { return s.servers[i].indexBytes }
 
+// Detector returns the failure detector driving failover (nil when
+// replication is off).
+func (s *System) Detector() *staging.Detector { return s.cfg.Detector }
+
+// RecoveryStats reports what re-replication did: objects and bytes
+// copied from survivors, and the time from the crash to the moment the
+// replication factor was restored (detection latency included).
+func (s *System) RecoveryStats() (recovered bool, objects int64, bytes int64, recoveryTime sim.Time) {
+	return s.recovered, s.recObjects, s.recBytes, s.recTime
+}
+
+// count bumps a resilience counter when telemetry is on.
+func (s *System) count(name string, delta float64) {
+	if reg := s.m.Metrics; reg != nil {
+		reg.Counter(name).Add(delta)
+	}
+}
+
+// replicaChain returns the servers holding region i's objects: the
+// region's primary plus Replication-1 replicas, walking the server list
+// so every chain member sits on a distinct node.
+func (s *System) replicaChain(i int) []*Server {
+	primary := s.servers[ndarray.RegionServer(i, len(s.servers))]
+	chain := []*Server{primary}
+	if s.cfg.Replication <= 1 {
+		return chain
+	}
+	nodes := map[*hpc.Node]bool{primary.Node: true}
+	for off := 1; off < len(s.servers) && len(chain) < s.cfg.Replication; off++ {
+		cand := s.servers[(primary.ID+off)%len(s.servers)]
+		if nodes[cand.Node] {
+			continue
+		}
+		nodes[cand.Node] = true
+		chain = append(chain, cand)
+	}
+	return chain
+}
+
+// candidates returns every server that may hold region i of varName:
+// the static replica chain plus any replacement replicas recovery
+// installed.
+func (s *System) candidates(varName string, i int) []*Server {
+	chain := s.replicaChain(i)
+	return append(chain, s.extras[extraKey(varName, i)]...)
+}
+
+func extraKey(varName string, i int) string { return fmt.Sprintf("%s/%d", varName, i) }
+
+// usable decides whether a client/server process should talk to srv,
+// paying the RPC-timeout cost of discovering an undeclared crash the
+// hard way. suspects is the caller's private memory of nodes it has
+// already timed out on (nil to always pay).
+func (s *System) usable(p *sim.Proc, srv *Server, suspects map[*hpc.Node]bool) (bool, error) {
+	det := s.cfg.Detector
+	if !srv.Node.Failed() {
+		return true, nil
+	}
+	if det != nil && det.Dead(srv.Node) {
+		return false, nil // detector already declared it; skip for free
+	}
+	if suspects != nil && suspects[srv.Node] {
+		return false, nil
+	}
+	// Crashed but not yet declared: the caller's RPC times out.
+	if det != nil {
+		s.count("resilience/failover/timeouts", 1)
+		if err := p.Sleep(det.ClientTimeout()); err != nil {
+			return false, err
+		}
+	}
+	if suspects != nil {
+		suspects[srv.Node] = true
+	}
+	return false, nil
+}
+
+// recover re-replicates every object the dead node held, copying from
+// surviving chain members to replacement servers on distinct nodes, so
+// the replication factor is restored before a second failure can bite.
+// It runs as its own process, spawned at detection time.
+func (s *System) recover(p *sim.Proc, n *hpc.Node) error {
+	vars := make([]string, 0, len(s.regions))
+	for v := range s.regions {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, varName := range vars {
+		for i := range s.regions[varName] {
+			if err := s.recoverRegion(p, n, varName, i); err != nil {
+				// Recovery is best-effort: a second failure mid-copy must not
+				// abort the whole simulation.
+				s.count("resilience/recovery_errors", 1)
+				return nil
+			}
+		}
+	}
+	s.recovered = true
+	s.recTime = s.m.E.Now() - n.FailedAt()
+	if reg := s.m.Metrics; reg != nil {
+		reg.Histogram("resilience/recovery_time_s").Observe(float64(s.recTime))
+	}
+	return nil
+}
+
+// recoverRegion restores region i of varName if the dead node hosted
+// one of its chain members: pick the first surviving member as source,
+// a fresh server on an unused node as target, and copy every stored
+// version across the network.
+func (s *System) recoverRegion(p *sim.Proc, n *hpc.Node, varName string, i int) error {
+	chain := s.replicaChain(i)
+	hit := false
+	used := make(map[*hpc.Node]bool)
+	var source *Server
+	for _, srv := range chain {
+		used[srv.Node] = true
+		if srv.Node == n {
+			hit = true
+		} else if source == nil && !srv.Node.Failed() {
+			source = srv
+		}
+	}
+	if !hit {
+		return nil
+	}
+	for _, srv := range s.extras[extraKey(varName, i)] {
+		used[srv.Node] = true
+		if source == nil && !srv.Node.Failed() {
+			source = srv
+		}
+	}
+	if source == nil {
+		s.count("resilience/lost_regions", 1)
+		return nil
+	}
+	var target *Server
+	for off := 1; off <= len(s.servers); off++ {
+		cand := s.servers[(chain[0].ID+off)%len(s.servers)]
+		if cand.Node.Failed() || used[cand.Node] {
+			continue
+		}
+		target = cand
+		break
+	}
+	if target == nil {
+		s.count("resilience/lost_regions", 1)
+		return nil
+	}
+	region := s.regions[varName][i]
+	for _, key := range source.Store.Keys() {
+		if key.Var != varName {
+			continue
+		}
+		for _, blk := range source.Store.Blocks(key) {
+			if !blk.Box.Overlaps(region) {
+				continue
+			}
+			if err := source.EP.Send(p, target.EP, blk.Bytes(), transport.SendOpts{}); err != nil {
+				return err
+			}
+			if err := target.Store.Put(key, blk); err != nil {
+				return err
+			}
+			s.recObjects++
+			s.recBytes += blk.Bytes()
+			s.count("resilience/rereplication/objects", 1)
+			s.count("resilience/rereplication/bytes", float64(blk.Bytes()))
+		}
+	}
+	s.extras[extraKey(varName, i)] = append(s.extras[extraKey(varName, i)], target)
+	return nil
+}
+
 // applyMitigations configures the Table IV resolves on an endpoint.
 func applyMitigations(ep *transport.Endpoint, cfg Config) {
 	if cfg.WaitRetry {
@@ -271,6 +482,9 @@ type Client struct {
 	sys  *System
 	ep   *transport.Endpoint
 	name string
+	// suspect remembers nodes this client has timed out on, so the RPC
+	// timeout of an undeclared crash is paid once, not per message.
+	suspect map[*hpc.Node]bool
 }
 
 // NewClient attaches a client on the given node. perStepBytes sizes the
@@ -278,9 +492,10 @@ type Client struct {
 // ClientBufFactor x perStepBytes, the ~227 MB of Figure 5a).
 func (s *System) NewClient(node *hpc.Node, job, name string, perStepBytes int64) (*Client, error) {
 	c := &Client{
-		sys:  s,
-		ep:   transport.NewEndpoint(s.m, node, job, name, s.cfg.Mode),
-		name: name,
+		sys:     s,
+		ep:      transport.NewEndpoint(s.m, node, job, name, s.cfg.Mode),
+		name:    name,
+		suspect: make(map[*hpc.Node]bool),
 	}
 	applyMitigations(c.ep, s.cfg)
 	lib := ClientBaseBytes + int64(ClientBufFactor*float64(perStepBytes))
@@ -335,30 +550,78 @@ func (c *Client) Put(p *sim.Proc, varName string, version int, blk ndarray.Block
 		if err != nil {
 			return err
 		}
-		srv := c.sys.servers[ndarray.RegionServer(i, len(c.sys.servers))]
-		if err := c.ep.Send(p, srv.EP, sub.Bytes(), transport.SendOpts{}); err != nil {
-			return fmt.Errorf("dataspaces put %s v%d: %w", varName, version, err)
-		}
-		newKey := srv.Store.BytesStored(key) == 0
-		if err := srv.Store.Put(key, sub); err != nil {
-			return err
-		}
-		if newKey {
-			if err := c.sys.syncPeers(p, srv, key); err != nil {
-				return err
+		stored := 0
+		for rank, srv := range c.sys.candidates(varName, i) {
+			if c.sys.cfg.Replication > 1 {
+				ok, err := c.sys.usable(p, srv, c.suspect)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			if err := c.putOne(p, srv, key, sub); err != nil {
+				return fmt.Errorf("dataspaces put %s v%d: %w", varName, version, err)
+			}
+			stored++
+			if rank > 0 {
+				c.sys.count("resilience/replication/objects", 1)
+				c.sys.count("resilience/replication/bytes", float64(sub.Bytes()))
 			}
 		}
-		if c.sys.cfg.Hash == HashBBox {
-			if err := c.sys.m.Alloc(srv.Node, srv.comp, "index", BBoxEntryBytes); err != nil {
-				return err
-			}
-			c.sys.addIndexBytes(srv, BBoxEntryBytes)
+		if stored == 0 {
+			return fmt.Errorf("dataspaces put %s v%d: no usable replica for region %d: %w",
+				varName, version, i, hpc.ErrNodeFailed)
 		}
 	}
-	// Register the object descriptor with the key's DHT home server.
+	// Register the object descriptor with the key's DHT home server (the
+	// first live server after it on the ring when replication is on).
 	home := c.sys.homeServer(key)
+	if c.sys.cfg.Replication > 1 && home.Node.Failed() {
+		home = c.sys.nextAlive(home)
+		if home == nil {
+			return fmt.Errorf("dataspaces put %s v%d (metadata): %w", varName, version, hpc.ErrNodeFailed)
+		}
+	}
 	if err := c.ep.Send(p, home.EP, metaMsgBytes, transport.SendOpts{}); err != nil {
 		return fmt.Errorf("dataspaces put %s v%d (metadata): %w", varName, version, err)
+	}
+	return nil
+}
+
+// putOne stores one sub-block on one server: wire transfer, store
+// admission, peer metadata sync on a new key, and the index entry.
+func (c *Client) putOne(p *sim.Proc, srv *Server, key staging.Key, sub ndarray.Block) error {
+	if err := c.ep.Send(p, srv.EP, sub.Bytes(), transport.SendOpts{}); err != nil {
+		return err
+	}
+	newKey := srv.Store.BytesStored(key) == 0
+	if err := srv.Store.Put(key, sub); err != nil {
+		return err
+	}
+	if newKey {
+		if err := c.sys.syncPeers(p, srv, key); err != nil {
+			return err
+		}
+	}
+	if c.sys.cfg.Hash == HashBBox {
+		if err := c.sys.m.Alloc(srv.Node, srv.comp, "index", BBoxEntryBytes); err != nil {
+			return err
+		}
+		c.sys.addIndexBytes(srv, BBoxEntryBytes)
+	}
+	return nil
+}
+
+// nextAlive walks the server ring after srv and returns the first
+// server on a live node, or nil when every node is down.
+func (s *System) nextAlive(srv *Server) *Server {
+	for off := 1; off <= len(s.servers); off++ {
+		cand := s.servers[(srv.ID+off)%len(s.servers)]
+		if !cand.Node.Failed() {
+			return cand
+		}
 	}
 	return nil
 }
@@ -378,7 +641,7 @@ func (s *System) homeServer(key staging.Key) *Server {
 // traffic of Section III-B5.
 func (s *System) syncPeers(p *sim.Proc, srv *Server, key staging.Key) error {
 	for _, peer := range s.servers {
-		if peer == srv {
+		if peer == srv || peer.Node.Failed() {
 			continue
 		}
 		if err := srv.EP.Send(p, peer.EP, metaMsgBytes, transport.SendOpts{}); err != nil {
@@ -417,16 +680,8 @@ func (c *Client) Get(p *sim.Proc, varName string, version int, box ndarray.Box) 
 		if !ok {
 			continue
 		}
-		srv := c.sys.servers[ndarray.RegionServer(i, len(c.sys.servers))]
-		blocks, err := srv.Store.Query(key, overlap)
+		blocks, err := c.getRegion(p, varName, i, key, overlap)
 		if err != nil {
-			return ndarray.Block{}, fmt.Errorf("dataspaces get %s v%d: %w", varName, version, err)
-		}
-		var bytes int64
-		for _, b := range blocks {
-			bytes += b.Bytes()
-		}
-		if err := srv.EP.Send(p, c.ep, bytes, transport.SendOpts{}); err != nil {
 			return ndarray.Block{}, fmt.Errorf("dataspaces get %s v%d: %w", varName, version, err)
 		}
 		parts = append(parts, blocks...)
@@ -436,6 +691,48 @@ func (c *Client) Get(p *sim.Proc, varName string, version int, box ndarray.Box) 
 		return ndarray.Block{}, fmt.Errorf("dataspaces get %s v%d: %w", varName, version, err)
 	}
 	return out, nil
+}
+
+// getRegion pulls one staging region's overlap from the first usable
+// replica: the primary when it is alive, otherwise a surviving chain
+// member or a replacement replica recovery installed (a failover read).
+func (c *Client) getRegion(p *sim.Proc, varName string, i int, key staging.Key, overlap ndarray.Box) ([]ndarray.Block, error) {
+	var lastErr error
+	for rank, srv := range c.sys.candidates(varName, i) {
+		if c.sys.cfg.Replication > 1 {
+			ok, err := c.sys.usable(p, srv, c.suspect)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				lastErr = fmt.Errorf("region %d replica %d on %s: %w", i, rank, srv.Node.Name(), hpc.ErrNodeFailed)
+				continue
+			}
+		}
+		blocks, err := srv.Store.Query(key, overlap)
+		if err != nil {
+			if c.sys.cfg.Replication > 1 && errors.Is(err, staging.ErrNotFound) {
+				lastErr = err // e.g. a replacement replica that missed this key
+				continue
+			}
+			return nil, err
+		}
+		var bytes int64
+		for _, b := range blocks {
+			bytes += b.Bytes()
+		}
+		if err := srv.EP.Send(p, c.ep, bytes, transport.SendOpts{}); err != nil {
+			return nil, err
+		}
+		if rank > 0 {
+			c.sys.count("resilience/failover/gets", 1)
+		}
+		return blocks, nil
+	}
+	if lastErr == nil {
+		lastErr = hpc.ErrNodeFailed
+	}
+	return nil, lastErr
 }
 
 // Close releases the client's transport state.

@@ -91,8 +91,18 @@ type Node struct {
 	Socks *sim.Resource
 	Mem   *sim.Resource
 
-	jobs   map[string]struct{}
-	failed bool
+	jobs     map[string]struct{}
+	failed   bool
+	failedAt sim.Time
+	slow     []slowWindow
+}
+
+// slowWindow is a transient message-timeout injection: sends touching
+// the node during [from, until) pay extra per-message latency (the RPC
+// retries a flaky link provokes).
+type slowWindow struct {
+	from, until sim.Time
+	extra       sim.Time
 }
 
 // Failed reports whether the node has crashed.
@@ -101,6 +111,38 @@ func (n *Node) Failed() bool { return n.failed }
 // Fail marks the node crashed: all subsequent communication with it
 // errors (the abrupt machine failures of Section IV-C).
 func (n *Node) Fail() { n.failed = true }
+
+// FailAt is Fail with the crash instant recorded, so failure detectors
+// can account their detection latency against the true crash time.
+func (n *Node) FailAt(t sim.Time) {
+	if n.failed {
+		return
+	}
+	n.failed = true
+	n.failedAt = t
+}
+
+// FailedAt returns the crash instant recorded by FailAt (zero if the
+// node is alive or was failed without a timestamp).
+func (n *Node) FailedAt() sim.Time { return n.failedAt }
+
+// AddTimeoutWindow injects message timeouts: every send touching the
+// node during [from, until) pays extra latency per message.
+func (n *Node) AddTimeoutWindow(from, until, extra sim.Time) {
+	n.slow = append(n.slow, slowWindow{from: from, until: until, extra: extra})
+}
+
+// TimeoutPenalty returns the extra per-message latency in effect at
+// time t (the sum of all open injection windows).
+func (n *Node) TimeoutPenalty(t sim.Time) sim.Time {
+	var extra sim.Time
+	for _, w := range n.slow {
+		if t >= w.from && t < w.until {
+			extra += w.extra
+		}
+	}
+	return extra
+}
 
 // In returns the node's NIC ingress link.
 func (n *Node) In() *sim.Link { return n.in }

@@ -103,6 +103,19 @@ func (n *Net) NewLink(name string, bytesPerSec float64) *Link {
 	return l
 }
 
+// SetLinkRate changes a link's capacity at the current virtual time:
+// in-flight flows keep the progress they made at the old rate and share
+// the new capacity from now on. Fault injection uses this to model
+// transient link degradation windows.
+func (n *Net) SetLinkRate(l *Link, bytesPerSec float64) {
+	if bytesPerSec < 0 {
+		bytesPerSec = 0
+	}
+	n.advance()
+	l.rate = bytesPerSec
+	n.markDirty()
+}
+
 // StartFlow begins a flow of bytes across every link in links and returns
 // an event that fires when it completes. Callers that need several
 // concurrent flows (striped Lustre writes, scatter sends) start them all

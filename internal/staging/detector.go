@@ -1,0 +1,102 @@
+package staging
+
+import (
+	"math"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// DetectorConfig sizes the heartbeat/lease failure detector.
+type DetectorConfig struct {
+	// Interval is the heartbeat period in virtual seconds.
+	Interval sim.Time
+	// Misses is how many consecutive missed heartbeats declare a node
+	// dead (the lease length is Misses*Interval).
+	Misses int
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Interval <= 0 {
+		c.Interval = 0.5
+	}
+	if c.Misses <= 0 {
+		c.Misses = 3
+	}
+	return c
+}
+
+// Detector is a heartbeat/lease failure detector on the virtual clock.
+// It is event-driven rather than polling: the engine runs until its
+// event queue drains, so a detector that re-armed a periodic timer
+// forever would keep every run alive. Instead, fault injection reports
+// each crash through ObserveFailure and the detector schedules a single
+// callback at the instant the crash becomes observable — the first
+// heartbeat boundary after the crash plus the misses that exhaust the
+// lease. The gap between the true crash time and that instant is the
+// modeled detection latency.
+type Detector struct {
+	e    *sim.Engine
+	m    *hpc.Machine
+	cfg  DetectorConfig
+	dead map[*hpc.Node]bool
+	subs []func(n *hpc.Node, detectedAt sim.Time)
+}
+
+// NewDetector builds a detector for machine m.
+func NewDetector(m *hpc.Machine, cfg DetectorConfig) *Detector {
+	return &Detector{
+		e:    m.E,
+		m:    m,
+		cfg:  cfg.withDefaults(),
+		dead: make(map[*hpc.Node]bool),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (d *Detector) Config() DetectorConfig { return d.cfg }
+
+// Watch registers fn to run when a node is declared dead. fn executes
+// as an engine callback at the detection instant; spawn a process from
+// it for any recovery work that moves data.
+func (d *Detector) Watch(fn func(n *hpc.Node, detectedAt sim.Time)) {
+	d.subs = append(d.subs, fn)
+}
+
+// Dead reports whether the detector has declared n dead. Between a
+// crash and its detection this is false — clients talking to the node
+// in that window discover the failure the slow way, via RPC timeout.
+func (d *Detector) Dead(n *hpc.Node) bool { return d.dead[n] }
+
+// ClientTimeout is the RPC timeout a client pays when it contacts a
+// crashed node the detector has not yet declared dead: the full lease.
+func (d *Detector) ClientTimeout() sim.Time {
+	return d.cfg.Interval * sim.Time(d.cfg.Misses)
+}
+
+// ObserveFailure schedules the detection of a crash that just happened
+// (fault injection calls this at the crash instant). Detection lands at
+// the first heartbeat boundary after the crash plus Misses further
+// intervals; the callback records the detection latency and notifies
+// watchers.
+func (d *Detector) ObserveFailure(n *hpc.Node) {
+	if d.dead[n] {
+		return
+	}
+	crashT := d.e.Now()
+	boundary := math.Ceil(float64(crashT)/float64(d.cfg.Interval)) * float64(d.cfg.Interval)
+	detectT := sim.Time(boundary) + d.cfg.Interval*sim.Time(d.cfg.Misses)
+	d.e.At(detectT, func() {
+		if d.dead[n] {
+			return
+		}
+		d.dead[n] = true
+		if reg := d.m.Metrics; reg != nil {
+			reg.Counter("resilience/detected").Inc()
+			reg.Histogram("resilience/detect/latency_s").Observe(float64(detectT - crashT))
+		}
+		for _, fn := range d.subs {
+			fn(n, detectT)
+		}
+	})
+}

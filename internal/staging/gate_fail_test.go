@@ -1,0 +1,84 @@
+package staging
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+func TestGateFailReleasesBlockedReaders(t *testing.T) {
+	e, _ := newMachine(t)
+	g := NewGate(e, 2)
+	key := Key{Var: "T", Version: 1}
+	var gotErr error
+	var releasedAt sim.Time
+	e.Spawn("reader", func(p *sim.Proc) error {
+		gotErr = g.WaitReady(p, key)
+		releasedAt = p.Now()
+		return nil
+	})
+	e.At(5, func() { g.Fail(nil) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, hpc.ErrNodeFailed) {
+		t.Fatalf("WaitReady after Fail = %v, want ErrNodeFailed", gotErr)
+	}
+	if releasedAt != 5 {
+		t.Fatalf("reader released at %v, want 5 (the failure) — not a deadlock drain", releasedAt)
+	}
+	if g.Failed() == nil {
+		t.Fatal("Failed() should report the poisoning cause")
+	}
+	if g.Ready(key) {
+		t.Fatal("a failed version must not report ready")
+	}
+}
+
+func TestGateFailPreservesCause(t *testing.T) {
+	e, _ := newMachine(t)
+	g := NewGate(e, 1)
+	cause := errors.New("switch rebooted")
+	g.Fail(cause)
+	var gotErr error
+	e.Spawn("reader", func(p *sim.Proc) error {
+		// WaitReady entered after the failure must not block either.
+		gotErr = g.WaitReady(p, Key{Var: "T", Version: 3})
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, cause) {
+		t.Fatalf("WaitReady = %v, want wrapped %v", gotErr, cause)
+	}
+}
+
+func TestGateFailKeepsReadyVersionsReadable(t *testing.T) {
+	e, _ := newMachine(t)
+	g := NewGate(e, 1)
+	ready := Key{Var: "T", Version: 1}
+	pending := Key{Var: "T", Version: 2}
+	g.Commit(ready)
+	g.Fail(nil)
+	if !g.Ready(ready) {
+		t.Fatal("version committed before the failure must stay ready")
+	}
+	var readyErr, pendingErr error
+	e.Spawn("reader", func(p *sim.Proc) error {
+		readyErr = g.WaitReady(p, ready)
+		pendingErr = g.WaitReady(p, pending)
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if readyErr != nil {
+		t.Fatalf("ready version after Fail: %v", readyErr)
+	}
+	if !errors.Is(pendingErr, hpc.ErrNodeFailed) {
+		t.Fatalf("pending version after Fail = %v, want ErrNodeFailed", pendingErr)
+	}
+}

@@ -60,6 +60,12 @@ type blockSet struct {
 	// sorted records whether blocks are ordered by Lo[dim]; adds are
 	// O(1) appends and the sort happens lazily at the first query.
 	sorted bool
+	// maxW is the widest extent along dim (recomputed with the lazy
+	// sort): a block can reach into a query only if it starts within
+	// maxW below the query's lower bound, which bounds the bisection
+	// without assuming the blocks tile — overlapping same-Lo blocks
+	// with different extents are still found.
+	maxW uint64
 }
 
 func newBlockSet() *blockSet { return &blockSet{dim: -2} }
@@ -107,22 +113,28 @@ func (bs *blockSet) query(box ndarray.Box) ([]ndarray.Block, error) {
 	var out []ndarray.Block
 	lo, hi := 0, len(bs.blocks)
 	if bs.dim >= 0 {
+		d := bs.dim
 		if !bs.sorted {
-			d := bs.dim
 			sort.SliceStable(bs.blocks, func(a, b int) bool {
 				return bs.blocks[a].Box.Lo[d] < bs.blocks[b].Box.Lo[d]
 			})
+			bs.maxW = 0
+			for _, blk := range bs.blocks {
+				if w := blk.Box.Hi[d] - blk.Box.Lo[d]; w > bs.maxW {
+					bs.maxW = w
+				}
+			}
 			bs.sorted = true
 		}
-		d := bs.dim
-		lo = sort.Search(len(bs.blocks), func(k int) bool {
-			return bs.blocks[k].Box.Lo[d] >= box.Lo[d]
-		})
-		// Blocks starting before box.Lo[d] can still reach into it; with
-		// tiling layouts at most a few do.
-		for lo > 0 && bs.blocks[lo-1].Box.Hi[d] > box.Lo[d] {
-			lo--
+		// Blocks starting before box.Lo[d] can still reach into it, but
+		// only from within maxW below it.
+		minLo := uint64(0)
+		if box.Lo[d] > bs.maxW {
+			minLo = box.Lo[d] - bs.maxW
 		}
+		lo = sort.Search(len(bs.blocks), func(k int) bool {
+			return bs.blocks[k].Box.Lo[d] >= minLo
+		})
 		hi = sort.Search(len(bs.blocks), func(k int) bool {
 			return bs.blocks[k].Box.Lo[d] >= box.Hi[d]
 		})
@@ -247,6 +259,35 @@ func (s *Store) Query(key Key, box ndarray.Box) ([]ndarray.Block, error) {
 // BytesStored returns the charged bytes for key.
 func (s *Store) BytesStored(key Key) int64 { return s.bytes[key] }
 
+// Keys returns every stored key, sorted by variable then version, so
+// recovery walks a store in deterministic order.
+func (s *Store) Keys() []Key {
+	keys := make([]Key, 0, len(s.blocks))
+	for key := range s.blocks {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Var != keys[b].Var {
+			return keys[a].Var < keys[b].Var
+		}
+		return keys[a].Version < keys[b].Version
+	})
+	return keys
+}
+
+// Blocks returns a copy of the block list stored under key (nil when
+// the key is absent). Re-replication reads a survivor's blocks through
+// this to rebuild lost copies.
+func (s *Store) Blocks(key Key) []ndarray.Block {
+	set, ok := s.blocks[key]
+	if !ok {
+		return nil
+	}
+	out := make([]ndarray.Block, len(set.blocks))
+	copy(out, set.blocks)
+	return out
+}
+
 // DropVersion frees all blocks of key and returns the memory.
 func (s *Store) DropVersion(key Key) {
 	if cost, ok := s.bytes[key]; ok {
@@ -275,11 +316,17 @@ func (s *Store) Close() {
 // version has a writer count; readers of version v block until every
 // writer of v has committed. This models DataSpaces' lock_on_write /
 // lock_on_read protocol with lock_type=2.
+//
+// Gates are failure-aware: when a producer dies before committing, Fail
+// releases every pending and future waiter with an error instead of
+// deadlocking the engine (the hang a real reader experiences when its
+// writer's node crashes mid-version).
 type Gate struct {
 	e       *sim.Engine
 	writers int
 	commits map[Key]int
 	ready   map[Key]*sim.Event
+	failErr error
 }
 
 // NewGate creates a gate expecting the given number of writers per
@@ -302,19 +349,60 @@ func (g *Gate) Commit(key Key) {
 	}
 }
 
-// WaitReady blocks until version key is fully written.
-func (g *Gate) WaitReady(p *sim.Proc, key Key) error {
-	_, err := p.Wait(g.event(key))
-	return err
+// Fail poisons the gate: every version not yet fully committed — and
+// every version first waited on after the call — releases its waiters
+// with an error wrapping cause. Versions already ready stay ready
+// (their data was published before the failure).
+func (g *Gate) Fail(cause error) {
+	if g.failErr != nil {
+		return
+	}
+	if cause == nil {
+		cause = hpc.ErrNodeFailed
+	}
+	g.failErr = cause
+	for _, ev := range g.ready {
+		ev.Fire(cause) // no-op on already-fired (ready) versions
+	}
 }
 
-// Ready reports whether version key is fully written.
-func (g *Gate) Ready(key Key) bool { return g.event(key).Fired() }
+// Failed returns the cause passed to Fail, or nil while the gate is
+// healthy.
+func (g *Gate) Failed() error { return g.failErr }
+
+// WaitReady blocks until version key is fully written, or returns an
+// error wrapping the failure cause when the gate's producers died
+// before committing it.
+func (g *Gate) WaitReady(p *sim.Proc, key Key) error {
+	v, err := p.Wait(g.event(key))
+	if err != nil {
+		return err
+	}
+	if cause, ok := v.(error); ok && cause != nil {
+		return fmt.Errorf("staging: %s v%d will never be ready: %w", key.Var, key.Version, cause)
+	}
+	return nil
+}
+
+// Ready reports whether version key is fully written. A version
+// released by Fail is not ready — its waiters were unblocked with an
+// error, not with data.
+func (g *Gate) Ready(key Key) bool {
+	ev := g.event(key)
+	if !ev.Fired() {
+		return false
+	}
+	cause, failed := ev.Value().(error)
+	return !failed || cause == nil
+}
 
 func (g *Gate) event(key Key) *sim.Event {
 	ev, ok := g.ready[key]
 	if !ok {
 		ev = g.e.NewEvent()
+		if g.failErr != nil {
+			ev.Fire(g.failErr)
+		}
 		g.ready[key] = ev
 	}
 	return ev

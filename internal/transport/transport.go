@@ -248,6 +248,14 @@ func (ep *Endpoint) Send(p *sim.Proc, peer *Endpoint, bytes int64, opts SendOpts
 	if peer.node.Failed() {
 		return fmt.Errorf("%w: %s (receiver %s)", hpc.ErrNodeFailed, peer.node.Name(), peer.name)
 	}
+	// Injected message-timeout windows: a flaky path costs RPC retries,
+	// charged as extra latency on every message touching the node.
+	if extra := ep.node.TimeoutPenalty(p.Now()) + peer.node.TimeoutPenalty(p.Now()); extra > 0 {
+		ep.countTimeout(extra)
+		if err := p.Sleep(extra); err != nil {
+			return err
+		}
+	}
 	if ep.node == peer.node {
 		// Intra-node: a memory copy over the node's bus (Figure 13).
 		ep.count("bus", bytes)
@@ -351,6 +359,17 @@ func (ep *Endpoint) sendSocket(p *sim.Proc, peer *Endpoint, bytes int64) error {
 	ep.count("socket", bytes)
 	effBytes := float64(bytes) / ep.m.SpecV.SocketEff
 	return p.Transfer(ep.m.Net, effBytes, ep.node.Out(), peer.node.In())
+}
+
+// countTimeout records one injected message timeout; no-op without a
+// registry on the machine.
+func (ep *Endpoint) countTimeout(extra float64) {
+	reg := ep.m.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("transport/timeouts/msgs").Inc()
+	reg.Counter("transport/timeouts/seconds").Add(extra)
 }
 
 // count records one message on a transport path; no-op without a

@@ -14,6 +14,7 @@ import (
 	"github.com/imcstudy/imcstudy/internal/mpiio"
 	"github.com/imcstudy/imcstudy/internal/ndarray"
 	"github.com/imcstudy/imcstudy/internal/sim"
+	"github.com/imcstudy/imcstudy/internal/staging"
 )
 
 // coupler is the method-specific data path between writers and readers.
@@ -25,8 +26,10 @@ type coupler interface {
 	// put stages writer i's block for a step; commit publishes it.
 	put(p *sim.Proc, i, step int, blk ndarray.Block) error
 	commit(i, step int)
-	// get retrieves reader r's box of a step.
-	get(p *sim.Proc, r, step int) (ndarray.Block, error)
+	// get retrieves reader r's box of a step, returning the version it
+	// actually delivered — the requested step, except when a resilient
+	// coupler rolled back to an older durable version.
+	get(p *sim.Proc, r, step int) (ndarray.Block, int, error)
 	// shutdown tears the method down (frees servers).
 	shutdown()
 }
@@ -44,13 +47,27 @@ type layout struct {
 	readerNode func(r int) *hpc.Node
 }
 
-// buildCoupler constructs the method's coupler.
-func buildCoupler(cfg Config, m *hpc.Machine, d *driver, lay *layout) (coupler, error) {
+// buildCoupler constructs the method's coupler. det is the failure
+// detector driving replication failover (nil when replication is off);
+// CheckpointEvery wraps staged methods in the checkpoint-to-Lustre
+// fallback.
+func buildCoupler(cfg Config, m *hpc.Machine, d *driver, lay *layout, det *staging.Detector) (coupler, error) {
+	inner, err := buildInnerCoupler(cfg, m, d, lay, det)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointEvery > 0 && cfg.Method.Couples() && cfg.Method != MethodMPIIO {
+		return newResilientCoupler(cfg, m, d, lay, inner), nil
+	}
+	return inner, nil
+}
+
+func buildInnerCoupler(cfg Config, m *hpc.Machine, d *driver, lay *layout, det *staging.Detector) (coupler, error) {
 	switch cfg.Method {
 	case MethodSimOnly, MethodAnalyticsOnly:
 		return nopCoupler{}, nil
 	case MethodDataSpacesNative, MethodDataSpacesADIOS:
-		return newDataSpacesCoupler(cfg, m, d, lay)
+		return newDataSpacesCoupler(cfg, m, d, lay, det)
 	case MethodDIMESNative, MethodDIMESADIOS:
 		return newDIMESCoupler(cfg, m, d, lay)
 	case MethodFlexpath:
@@ -73,8 +90,8 @@ func (nopCoupler) put(*sim.Proc, int, int, ndarray.Block) error {
 	return nil
 }
 func (nopCoupler) commit(int, int) {}
-func (nopCoupler) get(*sim.Proc, int, int) (ndarray.Block, error) {
-	return ndarray.Block{}, nil
+func (nopCoupler) get(_ *sim.Proc, _, step int) (ndarray.Block, int, error) {
+	return ndarray.Block{}, step, nil
 }
 func (nopCoupler) shutdown() {}
 
@@ -110,7 +127,7 @@ type dataSpacesCoupler struct {
 	ar []*adios.Reader
 }
 
-func newDataSpacesCoupler(cfg Config, m *hpc.Machine, d *driver, lay *layout) (coupler, error) {
+func newDataSpacesCoupler(cfg Config, m *hpc.Machine, d *driver, lay *layout, det *staging.Detector) (coupler, error) {
 	sys, err := dataspaces.Deploy(m, dataspaces.Config{
 		Servers:        cfg.servers(),
 		ServersPerNode: lay.serversPerNode,
@@ -120,6 +137,8 @@ func newDataSpacesCoupler(cfg Config, m *hpc.Machine, d *driver, lay *layout) (c
 		Writers:        cfg.SimProcs,
 		WaitRetry:      cfg.RDMAWaitRetry,
 		SocketPool:     cfg.SocketPoolSize,
+		Replication:    cfg.Replication,
+		Detector:       det,
 	}, lay.serverNodes)
 	if err != nil {
 		return nil, err
@@ -187,19 +206,32 @@ func (c *dataSpacesCoupler) commit(i, step int) {
 	c.writers[i].Commit(c.d.varName, step)
 }
 
-func (c *dataSpacesCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, error) {
+func (c *dataSpacesCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, int, error) {
 	if c.ar != nil {
 		c.ar[r].ScheduleRead(c.d.varName, c.d.readerBox(r))
 		blocks, err := c.ar[r].PerformReads(p, step)
 		if err != nil {
-			return ndarray.Block{}, err
+			return ndarray.Block{}, step, err
 		}
-		return blocks[0], nil
+		return blocks[0], step, nil
 	}
-	return c.readers[r].Get(p, c.d.varName, step, c.d.readerBox(r))
+	blk, err := c.readers[r].Get(p, c.d.varName, step, c.d.readerBox(r))
+	return blk, step, err
 }
 
 func (c *dataSpacesCoupler) shutdown() { c.sys.Shutdown() }
+
+func (c *dataSpacesCoupler) failGates(cause error) { c.sys.Gate().Fail(cause) }
+
+func (c *dataSpacesCoupler) resilienceOutcome() resilienceOutcome {
+	recovered, objects, bytes, t := c.sys.RecoveryStats()
+	return resilienceOutcome{
+		Recovered:    recovered,
+		RecoveryTime: t,
+		ReRepObjects: objects,
+		ReRepBytes:   bytes,
+	}
+}
 
 // dimesCoupler couples through DIMES, natively or via ADIOS.
 type dimesCoupler struct {
@@ -293,19 +325,22 @@ func (c *dimesCoupler) commit(i, step int) {
 	c.writers[i].Commit(c.d.varName, step)
 }
 
-func (c *dimesCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, error) {
+func (c *dimesCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, int, error) {
 	if c.ar != nil {
 		c.ar[r].ScheduleRead(c.d.varName, c.d.readerBox(r))
 		blocks, err := c.ar[r].PerformReads(p, step)
 		if err != nil {
-			return ndarray.Block{}, err
+			return ndarray.Block{}, step, err
 		}
-		return blocks[0], nil
+		return blocks[0], step, nil
 	}
-	return c.readers[r].Get(p, c.d.varName, step, c.d.readerBox(r))
+	blk, err := c.readers[r].Get(p, c.d.varName, step, c.d.readerBox(r))
+	return blk, step, err
 }
 
 func (c *dimesCoupler) shutdown() { c.sys.Shutdown() }
+
+func (c *dimesCoupler) failGates(cause error) { c.sys.Gate().Fail(cause) }
 
 // flexpathCoupler couples through Flexpath behind ADIOS (its usual form).
 type flexpathCoupler struct {
@@ -370,13 +405,13 @@ func (c *flexpathCoupler) put(p *sim.Proc, i, step int, blk ndarray.Block) error
 
 func (c *flexpathCoupler) commit(int, int) {} // publication is the commit
 
-func (c *flexpathCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, error) {
+func (c *flexpathCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, int, error) {
 	c.ar[r].ScheduleRead(c.d.varName, c.d.readerBox(r))
 	blocks, err := c.ar[r].PerformReads(p, step)
 	if err != nil {
-		return ndarray.Block{}, err
+		return ndarray.Block{}, step, err
 	}
-	return blocks[0], nil
+	return blocks[0], step, nil
 }
 
 func (c *flexpathCoupler) shutdown() {
@@ -472,7 +507,7 @@ func (c *decafCoupler) commit(i, step int) {
 	c.producers[i].Commit(c.d.varName, step)
 }
 
-func (c *decafCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, error) {
+func (c *decafCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, int, error) {
 	// Determine the contiguous writer group the reader covers and fetch
 	// its flat range.
 	first, count := readerWriterSpan(c.cfg.SimProcs, c.cfg.AnaProcs, r)
@@ -480,10 +515,10 @@ func (c *decafCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, error) {
 	elems := uint64(count) * c.d.flatElemsPerWriter
 	chunk, err := c.consumers[r].Get(p, c.d.varName, step, offset, elems)
 	if err != nil {
-		return ndarray.Block{}, err
+		return ndarray.Block{}, step, err
 	}
 	if chunk.Data == nil {
-		return ndarray.NewSyntheticBlock(c.d.readerBox(r)), nil
+		return ndarray.NewSyntheticBlock(c.d.readerBox(r)), step, nil
 	}
 	// Rebuild the reader's box from the per-writer flat slices.
 	parts := make([]ndarray.Block, 0, count)
@@ -492,11 +527,12 @@ func (c *decafCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, error) {
 		lo := uint64(w) * c.d.flatElemsPerWriter
 		blk, err := ndarray.NewDenseBlock(box, chunk.Data[lo:lo+c.d.flatElemsPerWriter])
 		if err != nil {
-			return ndarray.Block{}, err
+			return ndarray.Block{}, step, err
 		}
 		parts = append(parts, blk)
 	}
-	return ndarray.Assemble(c.d.readerBox(r), parts)
+	out, err := ndarray.Assemble(c.d.readerBox(r), parts)
+	return out, step, err
 }
 
 func (c *decafCoupler) shutdown() { c.sys.Shutdown() }
@@ -572,10 +608,10 @@ func (c *mpiioCoupler) commit(_, step int) {
 	c.sys.Commit(c.d.varName, step)
 }
 
-func (c *mpiioCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, error) {
+func (c *mpiioCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, int, error) {
 	box := c.d.readerBox(r)
 	if err := c.sys.ReadStep(p, c.lay.readerNode(r), c.d.varName, r, step, box.Bytes()); err != nil {
-		return ndarray.Block{}, err
+		return ndarray.Block{}, step, err
 	}
 	// ReadStep returns only after every writer committed, so the step
 	// file can be finalized now.
@@ -583,17 +619,18 @@ func (c *mpiioCoupler) get(p *sim.Proc, r, step int) (ndarray.Block, error) {
 	if !ok {
 		w := c.open[step]
 		if w == nil {
-			return ndarray.Block{}, fmt.Errorf("workflow: step %d file missing", step)
+			return ndarray.Block{}, step, fmt.Errorf("workflow: step %d file missing", step)
 		}
 		var err error
 		file, err = bp.NewReader(w.Bytes())
 		if err != nil {
-			return ndarray.Block{}, err
+			return ndarray.Block{}, step, err
 		}
 		c.files[step] = file
 		delete(c.open, step)
 	}
-	return file.Read(c.d.varName, box)
+	blk, err := file.Read(c.d.varName, box)
+	return blk, step, err
 }
 
 func (c *mpiioCoupler) shutdown() {}

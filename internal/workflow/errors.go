@@ -2,12 +2,13 @@ package workflow
 
 import (
 	"github.com/imcstudy/imcstudy/internal/dimes"
+	"github.com/imcstudy/imcstudy/internal/hpc"
 	"github.com/imcstudy/imcstudy/internal/rdma"
 	"github.com/imcstudy/imcstudy/internal/transport"
 )
 
 // resourceErrors enumerates the Table IV failure classes the testbed can
-// produce at runtime.
+// produce at runtime, plus the machine failures of Section IV-C.
 func resourceErrors() []error {
 	return []error{
 		rdma.ErrOutOfMemory,
@@ -16,5 +17,6 @@ func resourceErrors() []error {
 		rdma.ErrDRCNodeSecure,
 		transport.ErrOutOfSockets,
 		dimes.ErrBufferFull,
+		hpc.ErrNodeFailed,
 	}
 }

@@ -1,0 +1,223 @@
+package workflow
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/sim"
+	"github.com/imcstudy/imcstudy/internal/staging"
+)
+
+// FaultRole names the node pool a fault targets.
+type FaultRole string
+
+// Fault target roles.
+const (
+	// RoleStaging targets the method's staging nodes: server nodes for
+	// DataSpaces/DIMES/Decaf, simulation nodes for Flexpath (writer-side
+	// staging). MPI-IO has no staging node; targeting it is a no-op.
+	RoleStaging FaultRole = "staging"
+	// RoleSim targets simulation nodes.
+	RoleSim FaultRole = "sim"
+	// RoleAna targets analytics nodes.
+	RoleAna FaultRole = "ana"
+)
+
+// NodeCrash fails one node abruptly at a virtual time (the machine
+// failures of Section IV-C).
+type NodeCrash struct {
+	Role  FaultRole
+	Index int
+	At    sim.Time
+}
+
+// LinkDegradation throttles a node's NIC to Factor of its capacity
+// during [At, At+Duration) — a congested or flapping path.
+type LinkDegradation struct {
+	Role     FaultRole
+	Index    int
+	At       sim.Time
+	Duration sim.Time
+	// Factor is the remaining fraction of NIC capacity (0.1 = 10%).
+	Factor float64
+}
+
+// TimeoutWindow charges Extra seconds of latency on every message
+// touching a node during [At, At+Duration) — RPC retries on a flaky
+// path.
+type TimeoutWindow struct {
+	Role     FaultRole
+	Index    int
+	At       sim.Time
+	Duration sim.Time
+	Extra    sim.Time
+}
+
+// FaultPlan is a seed-deterministic schedule of injected faults. The
+// same plan against the same Config reproduces the same run to the
+// byte: the engine is deterministic and the random crashes are expanded
+// with a seeded PRNG before the clock starts.
+type FaultPlan struct {
+	// Seed drives the expansion of RandomCrashes (0 is a valid seed).
+	Seed int64
+	// RandomCrashes adds this many staging-node crashes at seed-chosen
+	// times in (0, RandomCrashHorizon].
+	RandomCrashes int
+	// RandomCrashHorizon bounds random crash times (default 10 virtual
+	// seconds).
+	RandomCrashHorizon sim.Time
+
+	Crashes      []NodeCrash
+	Degradations []LinkDegradation
+	Timeouts     []TimeoutWindow
+}
+
+// Empty reports whether the plan injects nothing.
+func (fp *FaultPlan) Empty() bool {
+	return fp == nil || (fp.RandomCrashes == 0 && len(fp.Crashes) == 0 &&
+		len(fp.Degradations) == 0 && len(fp.Timeouts) == 0)
+}
+
+// expandCrashes resolves the plan's crash list: explicit crashes plus
+// the seed-expanded random ones, sorted by time for a stable injection
+// order.
+func (fp *FaultPlan) expandCrashes(stagingNodes int) []NodeCrash {
+	crashes := append([]NodeCrash(nil), fp.Crashes...)
+	if fp.RandomCrashes > 0 && stagingNodes > 0 {
+		horizon := fp.RandomCrashHorizon
+		if horizon <= 0 {
+			horizon = 10
+		}
+		rng := rand.New(rand.NewSource(fp.Seed))
+		for i := 0; i < fp.RandomCrashes; i++ {
+			crashes = append(crashes, NodeCrash{
+				Role:  RoleStaging,
+				Index: rng.Intn(stagingNodes),
+				At:    sim.Time(rng.Float64()) * horizon,
+			})
+		}
+	}
+	sort.SliceStable(crashes, func(a, b int) bool { return crashes[a].At < crashes[b].At })
+	return crashes
+}
+
+// faultNode resolves a (role, index) target against the placement.
+// A nil node with nil error means the role has no such node for this
+// method (e.g. RoleStaging under MPI-IO) and the fault is skipped.
+func faultNode(cfg Config, lay *layout, role FaultRole, index int) (*hpc.Node, error) {
+	pool := func(nodes []*hpc.Node) (*hpc.Node, error) {
+		if len(nodes) == 0 {
+			return nil, nil
+		}
+		if index < 0 || index >= len(nodes) {
+			return nil, fmt.Errorf("workflow: fault %s[%d] out of range (%d nodes)", role, index, len(nodes))
+		}
+		return nodes[index], nil
+	}
+	switch role {
+	case RoleStaging:
+		if len(lay.serverNodes) > 0 {
+			return pool(lay.serverNodes)
+		}
+		if cfg.Method == MethodFlexpath {
+			return pool(lay.simNodes)
+		}
+		return nil, nil // MPI-IO: the staged data is on Lustre
+	case RoleSim:
+		return pool(lay.simNodes)
+	case RoleAna:
+		return pool(lay.anaNodes)
+	default:
+		return nil, fmt.Errorf("workflow: unknown fault role %q", role)
+	}
+}
+
+// applyFaultPlan schedules every fault of the plan on the engine.
+// Crashes are timestamped (FailAt) and reported to the failure detector
+// so detection latency is modeled; degradations retune NIC link rates
+// for their window; timeout windows attach to the node directly.
+func applyFaultPlan(cfg Config, e *sim.Engine, m *hpc.Machine, lay *layout, det *staging.Detector, c coupler) error {
+	plan := cfg.Faults
+	if plan.Empty() {
+		return nil
+	}
+	reg := m.Metrics
+	for _, cr := range plan.expandCrashes(len(lay.serverNodes)) {
+		node, err := faultNode(cfg, lay, cr.Role, cr.Index)
+		if err != nil {
+			return err
+		}
+		if node == nil {
+			continue
+		}
+		node, at, role := node, cr.At, cr.Role
+		e.At(at, func() {
+			if node.Failed() {
+				return
+			}
+			node.FailAt(at)
+			if reg != nil {
+				reg.Counter("faults/crashes").Inc()
+			}
+			if det != nil {
+				det.ObserveFailure(node)
+			}
+			if role == RoleSim {
+				// Producers died with the node: poison the version gates so
+				// readers are released with an error instead of waiting for
+				// commits that can never come.
+				if gf, ok := c.(gateFailer); ok {
+					gf.failGates(fmt.Errorf("%s crashed at t=%.3f: %w", node.Name(), at, hpc.ErrNodeFailed))
+				}
+			}
+		})
+	}
+	for _, dg := range plan.Degradations {
+		node, err := faultNode(cfg, lay, dg.Role, dg.Index)
+		if err != nil {
+			return err
+		}
+		if node == nil || dg.Duration <= 0 {
+			continue
+		}
+		factor := dg.Factor
+		if factor < 0 {
+			factor = 0
+		}
+		in, out := node.In(), node.Out()
+		inRate, outRate := in.Rate(), out.Rate()
+		e.At(dg.At, func() {
+			m.Net.SetLinkRate(in, inRate*factor)
+			m.Net.SetLinkRate(out, outRate*factor)
+			if reg != nil {
+				reg.Counter("faults/degradations").Inc()
+			}
+		})
+		e.At(dg.At+dg.Duration, func() {
+			m.Net.SetLinkRate(in, inRate)
+			m.Net.SetLinkRate(out, outRate)
+		})
+	}
+	for _, tw := range plan.Timeouts {
+		node, err := faultNode(cfg, lay, tw.Role, tw.Index)
+		if err != nil {
+			return err
+		}
+		if node == nil || tw.Duration <= 0 {
+			continue
+		}
+		node.AddTimeoutWindow(tw.At, tw.At+tw.Duration, tw.Extra)
+		if reg != nil {
+			reg.Counter("faults/timeout_windows").Inc()
+		}
+	}
+	return nil
+}
+
+// gateFailer is implemented by couplers whose version gates can be
+// poisoned when producers die before committing.
+type gateFailer interface {
+	failGates(cause error)
+}

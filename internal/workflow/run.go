@@ -110,9 +110,36 @@ type Config struct {
 	// given virtual time the method's first staging-role node crashes —
 	// a server node for DataSpaces/DIMES/Decaf, a simulation node for
 	// Flexpath (whose staging is writer-side). Zero disables. MPI-IO has
-	// no staging node; its data is already on the filesystem.
+	// no staging node; its data is already on the filesystem. It is
+	// shorthand for a one-crash Faults plan.
 	FailStagingNodeAt float64
+
+	// Faults injects a seed-deterministic schedule of node crashes, link
+	// degradation windows and message-timeout windows; it generalizes
+	// FailStagingNodeAt (both compose).
+	Faults *FaultPlan
+
+	// Replication stores every staged object on this many staging
+	// servers placed on distinct nodes, with failover reads, a modeled
+	// heartbeat/lease failure detector and re-replication of lost
+	// objects from survivors (DataSpaces methods only; <= 1 disables).
+	Replication int
+	// CheckpointEvery persists every Nth staged version to Lustre and,
+	// when a crash makes staged recovery impossible, degrades the
+	// coupling to the file-based path — rolling readers back to the last
+	// durable version rather than aborting. 0 disables. Applies to every
+	// staged method; MPI-IO is already durable.
+	CheckpointEvery int
+	// HeartbeatInterval and HeartbeatMisses size the failure detector
+	// (zero = 0.5 s heartbeats, 3 misses). Detection latency — the gap
+	// between a crash and the lease expiring — is part of the modeled
+	// recovery time.
+	HeartbeatInterval float64
+	HeartbeatMisses   int
 }
+
+// resilient reports whether any resilience mechanism is enabled.
+func (c Config) resilient() bool { return c.Replication > 1 || c.CheckpointEvery > 0 }
 
 // servers returns the staging-server count under the paper's
 // provisioning: Decaf uses one server per analytics processor; DataSpaces
@@ -190,6 +217,26 @@ type Result struct {
 	// Its JSON/CSV encodings are byte-identical across runs of the same
 	// configuration (the engine is deterministic and the encoders sort).
 	Metrics *metrics.Registry
+
+	// Resilience outcomes (zero unless Replication/CheckpointEvery on).
+	//
+	// Recovered reports that replication re-replicated the crashed
+	// node's objects from survivors; RecoveryTime is crash-to-restored
+	// (detection latency included); RecoveredBytes is the volume copied.
+	Recovered      bool
+	RecoveryTime   sim.Time
+	RecoveredBytes int64
+	// CheckpointWrites/CheckpointBytes is the Lustre traffic of the
+	// checkpoint fallback; FallbackReads counts reader fetches served
+	// from checkpoints; RolledBackSteps sums how far those reads rolled
+	// back past the requested version.
+	CheckpointWrites int64
+	CheckpointBytes  int64
+	FallbackReads    int64
+	RolledBackSteps  int64
+	// LostRanks counts application ranks whose node death was absorbed
+	// (resilient runs only; elsewhere a rank death fails the run).
+	LostRanks int
 }
 
 // TraceJSON renders the run's timeline as Chrome/Perfetto trace JSON.
@@ -264,7 +311,15 @@ func Run(cfg Config) (Result, error) {
 		return a
 	}
 
-	c, err := buildCoupler(cfg, m, d, lay)
+	var det *staging.Detector
+	if cfg.Replication > 1 {
+		det = staging.NewDetector(m, staging.DetectorConfig{
+			Interval: sim.Time(cfg.HeartbeatInterval),
+			Misses:   cfg.HeartbeatMisses,
+		})
+	}
+
+	c, err := buildCoupler(cfg, m, d, lay, det)
 	if err != nil {
 		// Deployment failures of the modelled systems (index OOM, policy
 		// rejections) are study results, not setup mistakes.
@@ -281,10 +336,20 @@ func Run(cfg Config) (Result, error) {
 		return res, nil
 	}
 
+	plan := cfg.Faults
 	if cfg.FailStagingNodeAt > 0 {
-		if victim := stagingVictim(cfg, lay); victim != nil {
-			e.At(cfg.FailStagingNodeAt, victim.Fail)
+		// Legacy shorthand: fold the single staging crash into the plan.
+		merged := FaultPlan{}
+		if plan != nil {
+			merged = *plan
 		}
+		merged.Crashes = append(append([]NodeCrash(nil), merged.Crashes...),
+			NodeCrash{Role: RoleStaging, Index: 0, At: sim.Time(cfg.FailStagingNodeAt)})
+		plan = &merged
+		cfg.Faults = plan
+	}
+	if err := applyFaultPlan(cfg, e, m, lay, det, c); err != nil {
+		return Result{}, err
 	}
 
 	steps := cfg.steps()
@@ -302,10 +367,29 @@ func Run(cfg Config) (Result, error) {
 	// get of the reader covering i; IDs start at 1 (0 is reserved).
 	flowID := func(s, i int) uint64 { return uint64(s*cfg.SimProcs+i) + 1 }
 
+	// absorbRankDeath converts a rank's own node crash into a survivable
+	// event in resilient runs: the version gates are poisoned so peers
+	// unblock with an error (instead of waiting forever for commits that
+	// cannot come) and the rank exits cleanly. Any other error — or any
+	// rank death in a non-resilient run — still fails the run.
+	absorbRankDeath := func(err error, node *hpc.Node) error {
+		if err == nil || !cfg.resilient() || !errors.Is(err, hpc.ErrNodeFailed) || !node.Failed() {
+			return err
+		}
+		if gf, ok := c.(gateFailer); ok {
+			gf.failGates(err)
+		}
+		res.LostRanks++
+		if reg != nil {
+			reg.Counter("resilience/lost_ranks").Inc()
+		}
+		return nil
+	}
+
 	if cfg.Method != MethodAnalyticsOnly {
 		for i := 0; i < cfg.SimProcs; i++ {
 			i := i
-			e.Spawn(fmt.Sprintf("sim-%d", i), func(p *sim.Proc) error {
+			body := func(p *sim.Proc) error {
 				comp := fmt.Sprintf("sim-%d", i)
 				if err := m.Alloc(lay.writerNode(i), comp, "compute", d.computeBytes); err != nil {
 					return err
@@ -347,6 +431,9 @@ func Run(cfg Config) (Result, error) {
 					res.Trace.FlowStart(flowID(s, i), comp, p.Now())
 				}
 				return nil
+			}
+			e.Spawn(fmt.Sprintf("sim-%d", i), func(p *sim.Proc) error {
+				return absorbRankDeath(body(p), lay.writerNode(i))
 			})
 		}
 	}
@@ -355,7 +442,7 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Method != MethodSimOnly {
 		for r := 0; r < cfg.AnaProcs; r++ {
 			r := r
-			e.Spawn(fmt.Sprintf("ana-%d", r), func(p *sim.Proc) error {
+			body := func(p *sim.Proc) error {
 				if err := c.initReader(p, r); err != nil {
 					return err
 				}
@@ -363,7 +450,7 @@ func Run(cfg Config) (Result, error) {
 				for s := 0; s < steps; s++ {
 					if cfg.Method.Couples() {
 						t0 := p.Now()
-						blk, err := c.get(p, r, s)
+						blk, got, err := c.get(p, r, s)
 						if err != nil {
 							return err
 						}
@@ -385,7 +472,9 @@ func Run(cfg Config) (Result, error) {
 							return err
 						}
 						span(comp, "analyze", tc, p.Now(), stepArgs(s, 0))
-						if err := d.consume(r, s, blk); err != nil {
+						// Verify against the version actually delivered: a
+						// rolled-back read consumes an older durable version.
+						if err := d.consume(r, got, blk); err != nil {
 							return err
 						}
 						readDone.Commit(staging.Key{Var: d.varName, Version: s})
@@ -396,6 +485,17 @@ func Run(cfg Config) (Result, error) {
 					}
 				}
 				return nil
+			}
+			e.Spawn(fmt.Sprintf("ana-%d", r), func(p *sim.Proc) error {
+				err := body(p)
+				if err != nil && cfg.resilient() && errors.Is(err, hpc.ErrNodeFailed) && lay.readerNode(r).Failed() {
+					// Release the writer throttle this dead reader would have
+					// driven, then absorb the death.
+					for s := 0; s < steps; s++ {
+						readDone.Commit(staging.Key{Var: d.varName, Version: s})
+					}
+				}
+				return absorbRankDeath(err, lay.readerNode(r))
 			})
 		}
 	}
@@ -424,6 +524,16 @@ func Run(cfg Config) (Result, error) {
 	if m.DRC != nil {
 		res.DRCRequests = m.DRC.Requests()
 		res.DRCFailures = m.DRC.Failures()
+	}
+	if rr, ok := c.(resilienceReporter); ok {
+		o := rr.resilienceOutcome()
+		res.Recovered = o.Recovered
+		res.RecoveryTime = o.RecoveryTime
+		res.RecoveredBytes = o.ReRepBytes
+		res.CheckpointWrites = o.CkptWrites
+		res.CheckpointBytes = o.CkptBytes
+		res.FallbackReads = o.FallbackReads
+		res.RolledBackSteps = o.RolledBackSteps
 	}
 	finalizeMetrics(&res, m)
 	res.Verified = verified && cfg.Method.Couples()
