@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz tidy
+.PHONY: check build vet test race bench microbench fuzz tidy
 
 # check is the CI gate: compile everything, vet, run the full test
 # suite under the race detector, and give the fuzzers a short shake.
@@ -18,7 +18,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the 1k/4k/10k-rank scale suite with fixed configurations,
+# rewrites BENCH_PR4.json (wall-clock numbers track the current tree)
+# and fails if the modelled virtual-time results or metrics digests
+# drift from the committed golden. IMC_SCALE_BENCH=update regenerates
+# the golden after an intended model change.
 bench:
+	IMC_SCALE_BENCH=$${IMC_SCALE_BENCH:-1} $(GO) test -run TestScaleBench -count=1 -timeout 60m -v .
+
+# microbench runs the per-figure testing.B benchmarks in quick mode.
+microbench:
 	$(GO) test -bench . -benchtime 2x -run '^$$' .
 
 # fuzz runs the native fuzzers briefly; saved crashers in testdata/fuzz

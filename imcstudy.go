@@ -242,7 +242,19 @@ var (
 	// (replication factor and checkpoint interval vs the unprotected
 	// baseline).
 	ResilienceCost = core.ResilienceCost
+	// ScaleSuite runs the O(10k)-rank scale matrix (simulator
+	// performance + deterministic virtual-time digests; see `make bench`
+	// and BENCH_PR4.json).
+	ScaleSuite = core.ScaleSuite
 )
+
+// LargeScale returns a synthetic coupled-run configuration sized to a
+// node budget on the machine (nodes <= 0 = the full machine: 18,688
+// Titan nodes, 9,688 Cori KNL nodes), with the paper's 2:1 sim:ana rank
+// split and the method's staging servers carved from the same budget.
+func LargeScale(spec MachineSpec, method Method, nodes, steps int) RunConfig {
+	return workflow.LargeScale(spec, method, nodes, steps)
+}
 
 // RenderTables writes tables as aligned text.
 func RenderTables(w io.Writer, tables []*ResultTable) error {

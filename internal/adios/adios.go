@@ -15,6 +15,7 @@ import (
 	"encoding/xml"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -147,8 +148,13 @@ func ParseConfig(doc []byte) (*Config, error) {
 		g.Method = kind
 		g.Params = strings.TrimSpace(m.Params)
 	}
-	for name, g := range cfg.Groups {
-		if g.Method == 0 {
+	names := make([]string, 0, len(cfg.Groups))
+	for name := range cfg.Groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if cfg.Groups[name].Method == 0 {
 			return nil, fmt.Errorf("adios: group %s has no method", name)
 		}
 	}

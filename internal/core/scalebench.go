@@ -1,0 +1,83 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/workflow"
+)
+
+// ScaleScales are the rank points of the scale suite: ~1k, ~4k and ~10k
+// total ranks (sim+ana at the paper's 2:1 split). Quick mode keeps the
+// 1k point only.
+func ScaleScales(o Options) []Scale {
+	if o.Quick {
+		return []Scale{{682, 342}}
+	}
+	return []Scale{{682, 342}, {2730, 1366}, {6826, 3414}}
+}
+
+// ScaleMethods are the couplings the scale suite exercises: the three
+// staging paths with distinct hot loops (server-side indexing, RDMA
+// buffer pinning, writer-side queues).
+func ScaleMethods() []workflow.Method {
+	return []workflow.Method{
+		workflow.MethodDataSpacesNative,
+		workflow.MethodDIMESNative,
+		workflow.MethodFlexpath,
+	}
+}
+
+// ScaleSuite runs the O(10k)-rank scale matrix on Titan with the
+// synthetic workload and reports, per cell, the modelled end-to-end
+// time, the wall-clock cost of simulating it, and a digest of the
+// telemetry registry. The virtual times and digests are deterministic;
+// `make bench` locks them in against BENCH_PR4.json. The wall column is
+// the simulator's own performance and is allowed to improve.
+func ScaleSuite(o Options) *Table {
+	t := &Table{
+		ID:     "scale",
+		Title:  "Simulator scale suite (Titan, synthetic workload)",
+		Header: []string{"Method", "(sim,ana)", "Virtual s", "Wall s", "Metrics SHA-256"},
+	}
+	for _, scale := range ScaleScales(o) {
+		for _, method := range ScaleMethods() {
+			cfg := workflow.Config{
+				Machine:  hpc.Titan(),
+				Method:   method,
+				Workload: workflow.WorkloadSynthetic,
+				SimProcs: scale.Sim,
+				AnaProcs: scale.Ana,
+				Steps:    o.steps(),
+				Metrics:  true,
+			}
+			start := time.Now()
+			res, err := workflow.Run(cfg)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				t.AddRow(method.String(), scale.String(), "ERROR", "-", err.Error())
+				continue
+			}
+			if res.Failed {
+				t.AddRow(method.String(), scale.String(), failCell(res.FailErr), "-", "-")
+				continue
+			}
+			js, err := res.Metrics.EncodeJSON()
+			if err != nil {
+				t.AddRow(method.String(), scale.String(), "ERROR", "-", err.Error())
+				continue
+			}
+			sum := sha256.Sum256(js)
+			t.AddRow(method.String(), scale.String(),
+				fmt.Sprintf("%.4f", float64(res.EndToEnd)), fmt.Sprintf("%.2f", wall),
+				fmt.Sprintf("%x", sum[:8]))
+		}
+	}
+	full := workflow.LargeScale(hpc.Titan(), workflow.MethodDataSpacesNative, 0, o.steps())
+	t.AddNote("full-machine preset (workflow.LargeScale): Titan %d nodes = (%d,%d) ranks; Cori KNL %d nodes",
+		hpc.TitanNodes, full.SimProcs, full.AnaProcs, hpc.CoriKNLNodes)
+	t.AddNote("virtual times and digests are deterministic; `make bench` gates them against BENCH_PR4.json")
+	return t
+}

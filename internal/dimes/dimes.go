@@ -17,6 +17,7 @@ package dimes
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/imcstudy/imcstudy/internal/hpc"
 	"github.com/imcstudy/imcstudy/internal/ndarray"
@@ -345,10 +346,22 @@ func (c *Client) Get(p *sim.Proc, varName string, version int, box ndarray.Box) 
 // PinnedBytes returns the bytes currently pinned in the RDMA pool.
 func (c *Client) PinnedBytes() int64 { return c.pinBytes }
 
-// Close releases everything the client holds.
+// Close releases everything the client holds. Pinned regions drop in
+// sorted key order, not map order: Deregister can unblock registration
+// waiters, so iteration order is event order.
 func (c *Client) Close() {
-	for key, regs := range c.pinned {
-		for _, reg := range regs {
+	keys := make([]staging.Key, 0, len(c.pinned))
+	for key := range c.pinned {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Var != keys[b].Var {
+			return keys[a].Var < keys[b].Var
+		}
+		return keys[a].Version < keys[b].Version
+	})
+	for _, key := range keys {
+		for _, reg := range c.pinned[key] {
 			reg.Deregister()
 		}
 		delete(c.pinned, key)

@@ -29,6 +29,9 @@ const (
 	TitanCoresPerNode = 16
 	// TitanNodeMemBytes is 32 GB of node RAM.
 	TitanNodeMemBytes = 32 << 30
+	// TitanNodes is the full machine: 18,688 Gemini compute nodes
+	// (Section III-A).
+	TitanNodes = 18688
 )
 
 // Cori hardware constants.
@@ -42,6 +45,9 @@ const (
 	CoriCoresPerNode = 68
 	// CoriNodeMemBytes is 96 GB of node DDR4.
 	CoriNodeMemBytes = 96 << 30
+	// CoriKNLNodes is the full machine's KNL partition: 9,688 nodes
+	// (Section III-A).
+	CoriKNLNodes = 9688
 )
 
 // Behavioural calibration (free parameters; see DESIGN.md Section 6).
@@ -87,6 +93,7 @@ const (
 func Titan() Spec {
 	return Spec{
 		Name:               "Titan",
+		MaxNodes:           TitanNodes,
 		CoresPerNode:       TitanCoresPerNode,
 		CPUSpeed:           1.0,
 		NodeMemBytes:       TitanNodeMemBytes,
@@ -122,6 +129,7 @@ func Cori() Spec {
 	}
 	return Spec{
 		Name:               "Cori",
+		MaxNodes:           CoriKNLNodes,
 		CoresPerNode:       CoriCoresPerNode,
 		CPUSpeed:           CoriCPUSpeed,
 		NodeMemBytes:       CoriNodeMemBytes,

@@ -29,7 +29,11 @@ var ErrNodeFailed = errors.New("hpc: node failed")
 // compute costs elsewhere in the testbed are expressed in Titan-seconds
 // and divided by CPUSpeed.
 type Spec struct {
-	Name         string
+	Name string
+	// MaxNodes is the full machine's node count; an allocation asking for
+	// more nodes than the machine has is a setup error. 0 means unbounded
+	// (synthetic machines in tests).
+	MaxNodes     int
 	CoresPerNode int
 	// CPUSpeed is the per-core speed relative to Titan's 2.2 GHz Opteron
 	// (Cori KNL: 1.4/2.2 = 0.636, the ratio the paper quotes).
@@ -175,10 +179,14 @@ type Machine struct {
 }
 
 // watchedNode is a node whose NIC utilization is sampled into the
-// registry on every network rate recomputation.
+// registry on every network rate recomputation. The series pointers are
+// resolved once per registry so the per-recomputation observer does not
+// rebuild names or take the registry lock.
 type watchedNode struct {
 	label string
 	node  *Node
+	inS   *metrics.Series
+	outS  *metrics.Series
 }
 
 // New builds a machine with nNodes nodes on the given engine.
@@ -188,6 +196,9 @@ func New(e *sim.Engine, spec Spec, nNodes int) (*Machine, error) {
 	}
 	if nNodes <= 0 {
 		return nil, fmt.Errorf("hpc: %d nodes", nNodes)
+	}
+	if spec.MaxNodes > 0 && nNodes > spec.MaxNodes {
+		return nil, fmt.Errorf("hpc: %d nodes exceed %s's %d", nNodes, spec.Name, spec.MaxNodes)
 	}
 	m := &Machine{SpecV: spec, E: e, Net: e.NewNet(), Mem: memprof.NewTracker(e)}
 	fs, err := lustre.New(e, m.Net, spec.Lustre)
@@ -231,10 +242,17 @@ func (m *Machine) EnableMetrics(reg *metrics.Registry) {
 		m.Net.SetRateObserver(nil)
 		return
 	}
+	for i := range m.watched {
+		m.watched[i].resolve(reg)
+	}
 	m.Net.SetRateObserver(func(t sim.Time) {
-		for _, w := range m.watched {
-			reg.Series("nic/"+w.label+"/in_util").Append(t, w.node.in.Utilization())
-			reg.Series("nic/"+w.label+"/out_util").Append(t, w.node.out.Utilization())
+		for i := range m.watched {
+			w := &m.watched[i]
+			if w.inS == nil {
+				w.resolve(reg)
+			}
+			w.inS.Append(t, w.node.in.Utilization())
+			w.outS.Append(t, w.node.out.Utilization())
 		}
 	})
 }
@@ -250,6 +268,11 @@ func (m *Machine) WatchNode(label string, n *Node) {
 		}
 	}
 	m.watched = append(m.watched, watchedNode{label: label, node: n})
+}
+
+func (w *watchedNode) resolve(reg *metrics.Registry) {
+	w.inS = reg.Series("nic/" + w.label + "/in_util")
+	w.outS = reg.Series("nic/" + w.label + "/out_util")
 }
 
 // Compute advances the process by refSeconds of Titan-equivalent compute.

@@ -177,6 +177,13 @@ func (s *Series) Append(t Time, v float64) {
 		s.samples[n-1].V = v
 		return
 	}
+	if len(s.samples) == cap(s.samples) {
+		// Double explicitly: large series otherwise hit the runtime's
+		// ~1.25x growth and spend their time in memmove.
+		next := make([]Sample, len(s.samples), max(64, 2*cap(s.samples)))
+		copy(next, s.samples)
+		s.samples = next
+	}
 	s.samples = append(s.samples, Sample{T: t, V: v})
 }
 

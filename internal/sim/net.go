@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // completionEps is the residual byte count below which a flow is complete;
@@ -19,6 +20,25 @@ type Link struct {
 	bytesMoved float64
 	flowsEver  int64
 	curRate    float64
+
+	// flows is the set of active flows traversing this link (one entry
+	// per occurrence, so a flow listing the link twice appears twice).
+	// It doubles as the node→active-flows index: SetLinkRate and fault
+	// windows reach exactly the affected flows instead of scanning the
+	// whole network.
+	flows []linkSlot
+	// dirty marks membership in Net.dirtyLinks; inComp is BFS scratch
+	// for the incremental recomputation.
+	dirty  bool
+	inComp bool
+}
+
+// linkSlot records one occurrence of a flow on a link; k is the index of
+// this occurrence in the flow's own links/pos slices, so a swap-remove on
+// the link list can fix up the moved flow's position in O(1).
+type linkSlot struct {
+	f *netFlow
+	k int
 }
 
 // Name returns the link name.
@@ -58,17 +78,42 @@ type Net struct {
 	e          *Engine
 	links      []*Link
 	flows      []*netFlow
+	flowSeq    int64
 	lastT      Time
 	cancelNext func()
 	dirty      bool
 
+	// dirtyLinks accumulates the links whose flow set or capacity
+	// changed since the last rate assignment; flush recomputes only the
+	// connected components (links joined by shared flows) they touch.
+	// forceFull disables the incremental path and recomputes the whole
+	// network every flush — the exact-oracle mode property tests compare
+	// against.
+	dirtyLinks []*Link
+	forceFull  bool
+
 	// Scratch buffers for assignRates, indexed by link id.
 	remCap []float64
 	count  []int
+	// Reused scratch for the component walk and the filling loop.
+	compLinks []*Link
+	compFlows []*netFlow
+	active    []*Link
 
-	rated   []*Link // links holding a non-stale curRate from the last assignment
+	// flushFn/onCompletionFn are the bound methods scheduled on the
+	// engine, captured once so the hot path does not allocate a new
+	// method-value closure per event.
+	flushFn        func()
+	onCompletionFn func()
+
 	onRates func(t Time)
 }
+
+// ForceFullRecompute disables the incremental component-local rate
+// assignment: every flush reruns progressive filling over the entire
+// network. The two modes produce bit-identical allocations; tests use
+// this as the oracle the incremental path is checked against.
+func (n *Net) ForceFullRecompute(on bool) { n.forceFull = on }
 
 // Links returns every link in creation order.
 func (n *Net) Links() []*Link { return n.links }
@@ -85,13 +130,19 @@ type netFlow struct {
 	rate      float64
 	rateCap   float64 // 0 = uncapped
 	links     []*Link
+	pos       []int // this flow's slot in each link's flow list
 	done      *Event
 	fixed     bool
+	seq       int64 // global arrival order; component filling follows it
+	inComp    bool
 }
 
 // NewNet returns an empty network bound to the engine.
 func (e *Engine) NewNet() *Net {
-	return &Net{e: e}
+	n := &Net{e: e}
+	n.flushFn = n.flush
+	n.onCompletionFn = n.onCompletion
+	return n
 }
 
 // NewLink adds a link with the given capacity in bytes per second.
@@ -113,6 +164,7 @@ func (n *Net) SetLinkRate(l *Link, bytesPerSec float64) {
 	}
 	n.advance()
 	l.rate = bytesPerSec
+	n.markDirtyLink(l)
 	n.markDirty()
 }
 
@@ -134,15 +186,39 @@ func (n *Net) StartFlowCapped(bytes, rateCap float64, links ...*Link) *Event {
 		done.Fire(nil)
 		return done
 	}
-	f := &netFlow{remaining: bytes, rateCap: rateCap, links: links, done: done}
+	f := &netFlow{remaining: bytes, rateCap: rateCap, links: links, done: done, seq: n.flowSeq}
+	n.flowSeq++
+	if len(links) > 0 {
+		f.pos = make([]int, len(links))
+	}
 	for _, l := range links {
 		l.bytesMoved += bytes
 		l.flowsEver++
 	}
 	n.advance()
 	n.flows = append(n.flows, f)
+	for i, l := range links {
+		f.pos[i] = len(l.flows)
+		l.flows = append(l.flows, linkSlot{f: f, k: i})
+		n.markDirtyLink(l)
+	}
 	n.markDirty()
 	return done
+}
+
+// detach removes f from its links' flow lists (swap-remove, fixing the
+// moved entry's back-pointer) and marks those links dirty.
+func (n *Net) detach(f *netFlow) {
+	for i, l := range f.links {
+		j := f.pos[i]
+		last := len(l.flows) - 1
+		moved := l.flows[last]
+		l.flows[j] = moved
+		moved.f.pos[moved.k] = j
+		l.flows[last] = linkSlot{}
+		l.flows = l.flows[:last]
+		n.markDirtyLink(l)
+	}
 }
 
 // Transfer moves bytes across every link in links simultaneously, blocking
@@ -169,12 +245,29 @@ func (n *Net) markDirty() {
 		n.cancelNext()
 		n.cancelNext = nil
 	}
-	n.e.At(n.e.now, n.flush)
+	n.e.At(n.e.now, n.flushFn)
+}
+
+// markDirtyLink queues l for the next incremental recomputation.
+func (n *Net) markDirtyLink(l *Link) {
+	if l.dirty {
+		return
+	}
+	l.dirty = true
+	n.dirtyLinks = append(n.dirtyLinks, l)
 }
 
 func (n *Net) flush() {
 	n.dirty = false
-	n.assignRates()
+	if n.forceFull {
+		for _, l := range n.dirtyLinks {
+			l.dirty = false
+		}
+		n.dirtyLinks = n.dirtyLinks[:0]
+		n.assignRates()
+	} else {
+		n.assignRatesIncremental()
+	}
 	n.scheduleNext()
 	if n.onRates != nil {
 		n.onRates(n.e.now)
@@ -196,17 +289,78 @@ func (n *Net) advance() {
 	}
 }
 
-// assignRates performs progressive filling over the links that currently
-// carry flows: repeatedly find the link whose fair share (remaining
-// capacity / unfixed flows) is smallest, fix all its flows at that rate,
-// and subtract their demand from the other links they traverse. Iteration
-// is in stable link-id order so runs are deterministic.
+// assignRates performs the exact full recomputation: progressive filling
+// over every link that currently carries flows. Kept as the oracle the
+// incremental path must match bit-for-bit (ForceFullRecompute).
 func (n *Net) assignRates() {
-	for _, l := range n.rated {
+	for _, l := range n.links {
 		l.curRate = 0
 	}
-	var active []*Link
-	for _, f := range n.flows {
+	n.fillRates(n.flows)
+}
+
+// assignRatesIncremental recomputes rates only for the connected
+// components (links joined by shared flows) reachable from the links
+// whose flow set or capacity changed. Component state — remaining
+// capacity, flow counts, pick order — is exactly what the full algorithm
+// would compute for those links, and untouched components keep their
+// previous (still exact) allocation, so the resulting rates are
+// bit-identical to a full recomputation.
+func (n *Net) assignRatesIncremental() {
+	if len(n.dirtyLinks) == 0 {
+		return
+	}
+	comp := n.compLinks[:0]
+	cf := n.compFlows[:0]
+	for _, l := range n.dirtyLinks {
+		l.inComp = true
+	}
+	comp = append(comp, n.dirtyLinks...)
+	for qi := 0; qi < len(comp); qi++ {
+		for _, s := range comp[qi].flows {
+			f := s.f
+			if f.inComp {
+				continue
+			}
+			f.inComp = true
+			cf = append(cf, f)
+			for _, l2 := range f.links {
+				if !l2.inComp {
+					l2.inComp = true
+					comp = append(comp, l2)
+				}
+			}
+		}
+	}
+	// The filling loop must walk component flows in global arrival order
+	// — the order the full recomputation sees them in n.flows — so ties
+	// and float accumulation resolve identically.
+	sort.Slice(cf, func(a, b int) bool { return cf[a].seq < cf[b].seq })
+	for _, l := range comp {
+		l.curRate = 0
+	}
+	n.fillRates(cf)
+	for _, l := range comp {
+		l.inComp = false
+		l.dirty = false
+	}
+	for _, f := range cf {
+		f.inComp = false
+	}
+	n.dirtyLinks = n.dirtyLinks[:0]
+	n.compLinks = comp[:0]
+	n.compFlows = cf[:0]
+}
+
+// fillRates runs progressive filling over flows: repeatedly find the link
+// whose fair share (remaining capacity / unfixed flows) is smallest, fix
+// all its flows at that rate, and subtract their demand from the other
+// links they traverse. Ties break toward the smaller link id so runs are
+// deterministic. Callers must have zeroed curRate on every link the flows
+// traverse.
+func (n *Net) fillRates(flows []*netFlow) {
+	active := n.active[:0]
+	for _, f := range flows {
 		f.fixed = false
 		for _, l := range f.links {
 			if n.count[l.id] == 0 {
@@ -216,7 +370,7 @@ func (n *Net) assignRates() {
 			n.count[l.id]++
 		}
 	}
-	unfixed := len(n.flows)
+	unfixed := len(flows)
 	for unfixed > 0 {
 		best := -1
 		bestShare := math.Inf(1)
@@ -232,7 +386,7 @@ func (n *Net) assignRates() {
 		}
 		if best < 0 {
 			// Remaining flows traverse only saturated links; stall them.
-			for _, f := range n.flows {
+			for _, f := range flows {
 				if !f.fixed {
 					f.rate = 0
 					f.fixed = true
@@ -244,7 +398,7 @@ func (n *Net) assignRates() {
 		if bestShare < 0 {
 			bestShare = 0
 		}
-		for _, f := range n.flows {
+		for _, f := range flows {
 			if f.fixed {
 				continue
 			}
@@ -279,12 +433,12 @@ func (n *Net) assignRates() {
 	for _, l := range active {
 		n.count[l.id] = 0
 	}
-	for _, f := range n.flows {
+	for _, f := range flows {
 		for _, l := range f.links {
 			l.curRate += f.rate
 		}
 	}
-	n.rated = append(n.rated[:0], active...)
+	n.active = active[:0]
 }
 
 // scheduleNext arranges a callback at the earliest flow completion.
@@ -309,7 +463,7 @@ func (n *Net) scheduleNext() {
 	if tmin < 0 {
 		tmin = 0
 	}
-	n.cancelNext = n.e.At(n.e.now+tmin, n.onCompletion)
+	n.cancelNext = n.e.At(n.e.now+tmin, n.onCompletionFn)
 }
 
 // onCompletion retires finished flows and recomputes the sharing.
@@ -319,6 +473,7 @@ func (n *Net) onCompletion() {
 	keep := n.flows[:0]
 	for _, f := range n.flows {
 		if f.remaining <= completionEps {
+			n.detach(f)
 			f.done.Fire(nil)
 		} else {
 			keep = append(keep, f)

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// flowScript is a seeded random schedule of flow arrivals and link
+// degradation windows, replayable against any Net so the incremental and
+// full-recompute modes can be compared bit-for-bit.
+type flowScript struct {
+	nLinks int
+	rates  []float64
+	flows  []scriptFlow
+	tunes  []scriptTune
+}
+
+type scriptFlow struct {
+	at      Time
+	bytes   float64
+	rateCap float64
+	links   []int
+}
+
+type scriptTune struct {
+	at     Time
+	link   int
+	factor float64 // applied to the link's base rate; 1 restores it
+}
+
+func makeFlowScript(seed int64, nLinks, nFlows, nTunes int) flowScript {
+	rng := rand.New(rand.NewSource(seed))
+	sc := flowScript{nLinks: nLinks}
+	for i := 0; i < nLinks; i++ {
+		sc.rates = append(sc.rates, 1e6*(1+9*rng.Float64()))
+	}
+	for i := 0; i < nFlows; i++ {
+		f := scriptFlow{
+			at:    10 * rng.Float64(),
+			bytes: 1e3 + 1e7*rng.Float64(),
+		}
+		if rng.Intn(3) == 0 {
+			f.rateCap = 1e5 + 1e6*rng.Float64()
+		}
+		seen := map[int]bool{}
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			l := rng.Intn(nLinks)
+			if seen[l] {
+				continue
+			}
+			seen[l] = true
+			f.links = append(f.links, l)
+		}
+		sc.flows = append(sc.flows, f)
+	}
+	for i := 0; i < nTunes; i++ {
+		l := rng.Intn(nLinks)
+		at := 10 * rng.Float64()
+		dur := 0.1 + 2*rng.Float64()
+		factor := 0.05 + 0.9*rng.Float64()
+		sc.tunes = append(sc.tunes,
+			scriptTune{at: at, link: l, factor: factor},
+			scriptTune{at: at + dur, link: l, factor: 1})
+	}
+	return sc
+}
+
+// play runs the script and returns a transcript of every observable:
+// flow completion times, and per-link aggregate rates after every
+// recomputation, all rendered as exact float64 bits.
+func (sc flowScript) play(t *testing.T, full bool) []string {
+	t.Helper()
+	e := NewEngine()
+	n := e.NewNet()
+	n.ForceFullRecompute(full)
+	links := make([]*Link, sc.nLinks)
+	for i := range links {
+		links[i] = n.NewLink(fmt.Sprintf("l%d", i), sc.rates[i])
+	}
+	var log []string
+	n.SetRateObserver(func(tm Time) {
+		line := fmt.Sprintf("rates %x", math.Float64bits(tm))
+		for _, l := range links {
+			line += fmt.Sprintf(" %x", math.Float64bits(l.CurrentRate()))
+		}
+		log = append(log, line)
+	})
+	for i, f := range sc.flows {
+		i, f := i, f
+		e.At(f.at, func() {
+			ls := make([]*Link, len(f.links))
+			for j, li := range f.links {
+				ls[j] = links[li]
+			}
+			ev := n.StartFlowCapped(f.bytes, f.rateCap, ls...)
+			e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) error {
+				if _, err := p.Wait(ev); err != nil {
+					return err
+				}
+				log = append(log, fmt.Sprintf("done %d %x", i, math.Float64bits(p.Now())))
+				return nil
+			})
+		})
+	}
+	for _, tu := range sc.tunes {
+		tu := tu
+		e.At(tu.at, func() {
+			n.SetLinkRate(links[tu.link], sc.rates[tu.link]*tu.factor)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("run (full=%v): %v", full, err)
+	}
+	return log
+}
+
+// TestIncrementalMatchesFullRecompute drives randomized flow
+// arrival/departure sequences — including links degraded mid-flow — and
+// asserts the incremental component-local rate assignment reproduces the
+// exact full recomputation bit-for-bit: same per-link rates after every
+// flush, same completion instants for every flow.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		sc := makeFlowScript(seed, 10, 150, 25)
+		fullLog := sc.play(t, true)
+		incLog := sc.play(t, false)
+		if len(fullLog) != len(incLog) {
+			t.Fatalf("seed %d: transcript lengths differ: full=%d incremental=%d",
+				seed, len(fullLog), len(incLog))
+		}
+		for i := range fullLog {
+			if fullLog[i] != incLog[i] {
+				t.Fatalf("seed %d: transcripts diverge at line %d:\nfull:        %s\nincremental: %s",
+					seed, i, fullLog[i], incLog[i])
+			}
+		}
+	}
+}
+
+// TestSetLinkRateZeroFlows exercises the satellite boundary cases: a
+// rate change on a link with no active flows, a rate of zero under
+// active flows (they stall, then resume on restore), and a degradation
+// window that opens and closes at the same instant.
+func TestSetLinkRateZeroFlows(t *testing.T) {
+	e := NewEngine()
+	n := e.NewNet()
+	idle := n.NewLink("idle", 1e6)
+	busy := n.NewLink("busy", 1e6)
+
+	// Rate set on a zero-flow link: must not panic or divide by zero,
+	// and the link must report the new capacity with zero utilization.
+	e.At(0.5, func() { n.SetLinkRate(idle, 2e6) })
+
+	// Zero rate with an active flow: the flow stalls (no progress, no
+	// spinning completion events) and finishes only after restoration.
+	var doneAt Time
+	e.Spawn("xfer", func(p *Proc) error {
+		if err := p.Transfer(n, 1e6, busy); err != nil {
+			return err
+		}
+		doneAt = p.Now()
+		return nil
+	})
+	e.At(0.2, func() { n.SetLinkRate(busy, 0) })
+	e.At(1.2, func() { n.SetLinkRate(busy, 1e6) })
+
+	// Same-instant open/close: net effect must be the base rate.
+	e.At(0.7, func() {
+		n.SetLinkRate(busy, 0.1*1e6)
+		n.SetLinkRate(busy, 0)
+		n.SetLinkRate(busy, 1e6)
+		n.SetLinkRate(busy, 0)
+	})
+
+	if err := e.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if idle.Rate() != 2e6 || idle.CurrentRate() != 0 {
+		t.Fatalf("idle link: rate=%g curRate=%g, want 2e6, 0", idle.Rate(), idle.CurrentRate())
+	}
+	// 0.2s at full rate moves 0.2e6 bytes; the remaining 0.8e6 bytes
+	// move after the 1.2s restore: done at 1.2 + 0.8 = 2.0.
+	if math.Abs(doneAt-2.0) > 1e-9 {
+		t.Fatalf("stalled transfer finished at %g, want 2.0", doneAt)
+	}
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestScaleManyFlows(t *testing.T) {
 	e := NewEngine()
@@ -24,5 +27,72 @@ func TestScaleManyFlows(t *testing.T) {
 	// 128 flows per receiver at 5.5 GB/s: 128*20MB/5.5GB/s = 0.4654 s
 	if !almostEq(e.Now(), 128*20e6/5.5e9, 1e-3) {
 		t.Fatalf("end = %v", e.Now())
+	}
+}
+
+// runFanIn simulates senders fanning into servers in staggered batches
+// (so flows arrive and retire while others are mid-transfer, exercising
+// the incremental rate recomputation rather than one static component),
+// and returns the virtual completion time.
+func runFanIn(tb testing.TB, senders, servers int, full bool) Time {
+	e := NewEngine()
+	n := e.NewNet()
+	n.ForceFullRecompute(full)
+	recv := make([]*Link, servers)
+	for i := range recv {
+		recv[i] = n.NewLink("recv", 5.5e9)
+	}
+	for i := 0; i < senders; i++ {
+		src := n.NewLink("src", 5.5e9)
+		dst := recv[i%servers]
+		start := Time(i%7) * 1e-3
+		e.Spawn("s", func(p *Proc) error {
+			if err := p.Sleep(start); err != nil {
+				return err
+			}
+			return p.Transfer(n, 20e6, src, dst)
+		})
+	}
+	if err := e.Run(); err != nil {
+		tb.Fatal(err)
+	}
+	return e.Now()
+}
+
+// TestScaleFanInIncremental pins the incremental rate assignment to the
+// full recomputation at the 10k-sender scale the PR targets.
+func TestScaleFanInIncremental(t *testing.T) {
+	senders, servers := 10240, 64
+	if testing.Short() {
+		senders = 1024
+	}
+	inc := runFanIn(t, senders, servers, false)
+	full := runFanIn(t, senders, servers, true)
+	if inc != full {
+		t.Fatalf("incremental end %v != full recompute end %v", inc, full)
+	}
+}
+
+// BenchmarkScaleFanIn measures the event core at 1k/4k/10k concurrent
+// senders — the machine-room sizes of the PR's scale target. Compare
+// with ForceFullRecompute via BenchmarkScaleFanInFullRecompute to see
+// what the incremental fair-share path buys.
+func BenchmarkScaleFanIn(b *testing.B) {
+	for _, senders := range []int{1024, 4096, 10240} {
+		b.Run(fmt.Sprintf("senders=%d", senders), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runFanIn(b, senders, 64, false)
+			}
+		})
+	}
+}
+
+func BenchmarkScaleFanInFullRecompute(b *testing.B) {
+	for _, senders := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("senders=%d", senders), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runFanIn(b, senders, 64, true)
+			}
+		})
 	}
 }

@@ -55,6 +55,11 @@ type Engine struct {
 	failFast bool
 	failed   bool
 
+	// pool recycles schedItems: the hot path allocates one per event
+	// otherwise. Recycling bumps seq, which the At cancel closure checks
+	// so a stale cancel cannot touch a reused item.
+	pool []*schedItem
+
 	maxTime Time
 	stopped bool
 }
@@ -136,16 +141,37 @@ func (e *Engine) schedule(t Time, p *Proc, fn func()) *schedItem {
 		t = e.now
 	}
 	e.seq++
-	it := &schedItem{t: t, seq: e.seq, proc: p, fn: fn}
+	var it *schedItem
+	if n := len(e.pool); n > 0 {
+		it = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		it.t, it.seq, it.proc, it.fn, it.canceled = t, e.seq, p, fn, false
+	} else {
+		it = &schedItem{t: t, seq: e.seq, proc: p, fn: fn}
+	}
 	heap.Push(&e.queue, it)
 	return it
 }
 
+// recycle returns a consumed schedItem to the pool.
+func (e *Engine) recycle(it *schedItem) {
+	it.proc = nil
+	it.fn = nil
+	e.pool = append(e.pool, it)
+}
+
 // At schedules fn to run in engine context (not as a process) at time t.
-// The returned cancel function is a no-op after the callback has fired.
+// The returned cancel function is a no-op after the callback has fired,
+// even if the item has since been recycled for another event.
 func (e *Engine) At(t Time, fn func()) (cancel func()) {
 	it := e.schedule(t, nil, fn)
-	return func() { it.canceled = true }
+	seq := it.seq
+	return func() {
+		if it.seq == seq {
+			it.canceled = true
+		}
+	}
 }
 
 // resume hands control to p and waits for it to yield back.
@@ -218,6 +244,7 @@ func (e *Engine) Run() error {
 		}
 		it := heap.Pop(&e.queue).(*schedItem)
 		if it.canceled {
+			e.recycle(it)
 			continue
 		}
 		if it.t > e.maxTime {
@@ -234,12 +261,16 @@ func (e *Engine) Run() error {
 		}
 		e.now = it.t
 		if it.proc != nil {
-			if it.proc.done {
+			p := it.proc
+			e.recycle(it)
+			if p.done {
 				continue
 			}
-			e.resume(it.proc, wakeMsg{})
+			e.resume(p, wakeMsg{})
 		} else {
-			it.fn()
+			fn := it.fn
+			e.recycle(it)
+			fn()
 		}
 	}
 	if e.live > 0 && !deadlineHit {
@@ -267,7 +298,12 @@ func (e *Engine) abortAll() {
 		delete(e.blocked, it.proc)
 		e.resume(it.proc, wakeMsg{aborted: true})
 	}
-	for p := range e.blocked {
+	// Wake the stragglers in spawn order, not map order, so teardown is
+	// deterministic (abort handlers run user code that can record).
+	for _, p := range e.procs {
+		if _, ok := e.blocked[p]; !ok {
+			continue
+		}
 		delete(e.blocked, p)
 		if !p.done {
 			e.resume(p, wakeMsg{aborted: true})

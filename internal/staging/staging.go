@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/metrics"
 	"github.com/imcstudy/imcstudy/internal/ndarray"
 	"github.com/imcstudy/imcstudy/internal/sim"
 )
@@ -45,16 +46,33 @@ type Store struct {
 	blocks map[Key]*blockSet
 	bytes  map[Key]int64
 	vers   map[string][]int // sorted versions per variable
+
+	// Cached telemetry instruments, resolved once per registry so the
+	// per-operation count calls skip name building and registry locking.
+	ctrReg      *metrics.Registry
+	ctrs        map[string]*storeCounters
+	compObjects *metrics.Gauge
+	compBytes   *metrics.Gauge
+}
+
+// storeCounters caches the aggregate counters for one operation kind.
+type storeCounters struct {
+	objects *metrics.Counter
+	bytes   *metrics.Counter
 }
 
 // blockSet holds one version's blocks with a cheap spatial index: when
 // sibling blocks tile along a single discriminating dimension (the common
 // case — writers decompose one dimension), they are kept sorted by that
 // dimension's lower bound so queries bisect instead of scanning. Mixed
-// layouts fall back to a linear scan.
+// layouts (e.g. a server owning two staging regions, whose blocks differ
+// along both the writer dimension and the region dimension) keep the
+// blocks in insertion order and instead bisect a lazily built per-
+// dimension permutation index, scanning only the narrowest candidate
+// window.
 type blockSet struct {
 	blocks []ndarray.Block
-	// dim is the discriminating dimension; -1 means linear scan,
+	// dim is the discriminating dimension; -1 means mixed layout,
 	// -2 means not yet determined (0 or 1 blocks stored).
 	dim int
 	// sorted records whether blocks are ordered by Lo[dim]; adds are
@@ -66,6 +84,14 @@ type blockSet struct {
 	// without assuming the blocks tile — overlapping same-Lo blocks
 	// with different extents are still found.
 	maxW uint64
+
+	// Mixed-layout index: byDim[d] is the block indices ordered by
+	// Lo[d], and dimMaxW[d] the widest extent along d. Built lazily at
+	// the first query after an add; queries bisect every dimension and
+	// scan the smallest window in insertion order, so results are
+	// identical (same subset, same order) to the former linear scan.
+	byDim   [][]int32
+	dimMaxW []uint64
 }
 
 func newBlockSet() *blockSet { return &blockSet{dim: -2} }
@@ -111,6 +137,9 @@ func (bs *blockSet) add(blk ndarray.Block) {
 // query appends the sub-blocks of bs intersecting box to out.
 func (bs *blockSet) query(box ndarray.Box) ([]ndarray.Block, error) {
 	var out []ndarray.Block
+	if bs.dim == -1 {
+		return bs.queryMixed(box)
+	}
 	lo, hi := 0, len(bs.blocks)
 	if bs.dim >= 0 {
 		d := bs.dim
@@ -140,6 +169,86 @@ func (bs *blockSet) query(box ndarray.Box) ([]ndarray.Block, error) {
 		})
 	}
 	for _, blk := range bs.blocks[lo:hi] {
+		if !blk.Box.Overlaps(box) {
+			continue
+		}
+		overlap, _ := blk.Box.Intersect(box)
+		sub, err := blk.Sub(overlap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub)
+	}
+	return out, nil
+}
+
+// queryMixed serves mixed-layout sets: bisect the per-dimension indexes,
+// take the narrowest candidate window, and emit survivors in insertion
+// order — exactly the subset and order a full linear scan would produce.
+func (bs *blockSet) queryMixed(box ndarray.Box) ([]ndarray.Block, error) {
+	if !bs.sorted {
+		nd := len(box.Lo)
+		if len(bs.blocks) > 0 {
+			nd = len(bs.blocks[0].Box.Lo)
+		}
+		if cap(bs.byDim) < nd {
+			bs.byDim = make([][]int32, nd)
+			bs.dimMaxW = make([]uint64, nd)
+		}
+		bs.byDim = bs.byDim[:nd]
+		bs.dimMaxW = bs.dimMaxW[:nd]
+		for d := 0; d < nd; d++ {
+			idx := bs.byDim[d][:0]
+			for i := range bs.blocks {
+				idx = append(idx, int32(i))
+			}
+			blocks := bs.blocks
+			sort.SliceStable(idx, func(a, b int) bool {
+				return blocks[idx[a]].Box.Lo[d] < blocks[idx[b]].Box.Lo[d]
+			})
+			bs.byDim[d] = idx
+			bs.dimMaxW[d] = 0
+			for _, blk := range bs.blocks {
+				if w := blk.Box.Hi[d] - blk.Box.Lo[d]; w > bs.dimMaxW[d] {
+					bs.dimMaxW[d] = w
+				}
+			}
+		}
+		bs.sorted = true
+	}
+	// Pick the dimension whose candidate window is smallest.
+	bestD, bestLo, bestHi := -1, 0, len(bs.blocks)
+	for d := range bs.byDim {
+		if d >= len(box.Lo) {
+			break
+		}
+		idx := bs.byDim[d]
+		minLo := uint64(0)
+		if box.Lo[d] > bs.dimMaxW[d] {
+			minLo = box.Lo[d] - bs.dimMaxW[d]
+		}
+		lo := sort.Search(len(idx), func(k int) bool {
+			return bs.blocks[idx[k]].Box.Lo[d] >= minLo
+		})
+		hi := sort.Search(len(idx), func(k int) bool {
+			return bs.blocks[idx[k]].Box.Lo[d] >= box.Hi[d]
+		})
+		if bestD < 0 || hi-lo < bestHi-bestLo {
+			bestD, bestLo, bestHi = d, lo, hi
+		}
+	}
+	var cand []int32
+	if bestD < 0 {
+		for i := range bs.blocks {
+			cand = append(cand, int32(i))
+		}
+	} else {
+		cand = append(cand, bs.byDim[bestD][bestLo:bestHi]...)
+		sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
+	}
+	var out []ndarray.Block
+	for _, i := range cand {
+		blk := bs.blocks[i]
 		if !blk.Box.Overlaps(box) {
 			continue
 		}
@@ -216,15 +325,32 @@ func (s *Store) count(op string, objects, cost int64) {
 	if reg == nil {
 		return
 	}
-	reg.Counter("staging/" + op + "/objects").Add(float64(objects))
-	reg.Counter("staging/" + op + "/bytes").Add(float64(cost))
-	if strings.Contains(s.component, "server") {
+	if reg != s.ctrReg {
+		s.ctrReg = reg
+		s.ctrs = make(map[string]*storeCounters, 4)
+		s.compObjects, s.compBytes = nil, nil
+		if strings.Contains(s.component, "server") {
+			s.compObjects = reg.Gauge("staging/" + s.component + "/objects")
+			s.compBytes = reg.SampledGauge("staging/" + s.component + "/bytes")
+		}
+	}
+	c, ok := s.ctrs[op]
+	if !ok {
+		c = &storeCounters{
+			objects: reg.Counter("staging/" + op + "/objects"),
+			bytes:   reg.Counter("staging/" + op + "/bytes"),
+		}
+		s.ctrs[op] = c
+	}
+	c.objects.Add(float64(objects))
+	c.bytes.Add(float64(cost))
+	if s.compObjects != nil {
 		sign := 1.0
 		if op == "drop" {
 			sign = -1
 		}
-		reg.Gauge("staging/" + s.component + "/objects").Add(sign * float64(objects))
-		reg.SampledGauge("staging/" + s.component + "/bytes").Add(sign * float64(cost))
+		s.compObjects.Add(sign * float64(objects))
+		s.compBytes.Add(sign * float64(cost))
 	}
 }
 
@@ -305,11 +431,28 @@ func (s *Store) DropVersion(key Key) {
 	}
 }
 
-// Close frees everything the store holds.
+// Close frees everything the store holds. Versions drop in sorted key
+// order so the memory releases (which can unblock waiters) are
+// deterministic.
 func (s *Store) Close() {
+	keys := make([]Key, 0, len(s.bytes))
 	for key := range s.bytes {
+		keys = append(keys, key)
+	}
+	sortKeys(keys)
+	for _, key := range keys {
 		s.DropVersion(key)
 	}
+}
+
+// sortKeys orders keys by variable name, then version.
+func sortKeys(keys []Key) {
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Var != keys[b].Var {
+			return keys[a].Var < keys[b].Var
+		}
+		return keys[a].Version < keys[b].Version
+	})
 }
 
 // Gate coordinates writers and readers of versioned variables: each
@@ -361,8 +504,15 @@ func (g *Gate) Fail(cause error) {
 		cause = hpc.ErrNodeFailed
 	}
 	g.failErr = cause
-	for _, ev := range g.ready {
-		ev.Fire(cause) // no-op on already-fired (ready) versions
+	// Fire in sorted key order, not map order: each Fire schedules its
+	// waiters' wake-ups, so iteration order is event order.
+	keys := make([]Key, 0, len(g.ready))
+	for key := range g.ready {
+		keys = append(keys, key)
+	}
+	sortKeys(keys)
+	for _, key := range keys {
+		g.ready[key].Fire(cause) // no-op on already-fired (ready) versions
 	}
 }
 

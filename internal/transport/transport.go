@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/metrics"
 	"github.com/imcstudy/imcstudy/internal/rdma"
 	"github.com/imcstudy/imcstudy/internal/sim"
 )
@@ -107,7 +108,22 @@ type Endpoint struct {
 	mit           mitigations
 	attachedPeers int64
 	conns         map[*Endpoint]struct{}
-	closed        bool
+	// connList mirrors conns in connection order so Close releases
+	// descriptors (which can unblock waiters) deterministically instead
+	// of in map order.
+	connList []*Endpoint
+	closed   bool
+
+	// Cached per-path counters, resolved once per registry so the
+	// per-message count calls skip name building and registry locking.
+	ctrReg *metrics.Registry
+	ctrs   map[string]*pathCounters
+}
+
+// pathCounters caches the message/byte counters of one transport path.
+type pathCounters struct {
+	msgs  *metrics.Counter
+	bytes *metrics.Counter
 }
 
 // NewEndpoint creates an endpoint for component name of the given job on
@@ -231,7 +247,9 @@ func (ep *Endpoint) Connect(p *sim.Proc, peer *Endpoint) error {
 		}
 	}
 	ep.conns[peer] = struct{}{}
+	ep.connList = append(ep.connList, peer)
 	peer.conns[ep] = struct{}{}
+	peer.connList = append(peer.connList, ep)
 	return nil
 }
 
@@ -305,36 +323,42 @@ func (ep *Endpoint) sendRDMA(p *sim.Proc, peer *Endpoint, bytes int64, opts Send
 	if reg != nil {
 		reg.Histogram("transport/recv_window_wait_s").Observe(p.Now() - t0)
 	}
-	var regs []*rdma.Region
+	var srcReg, dstReg *rdma.Region
 	defer func() {
-		for _, r := range regs {
-			r.Deregister()
+		if srcReg != nil {
+			srcReg.Deregister()
+		}
+		if dstReg != nil {
+			dstReg.Deregister()
 		}
 	}()
-	register := func(dom *rdma.Domain) (*rdma.Region, error) {
-		if ep.mit.waitRetry {
-			return dom.RegisterWait(p, bytes)
-		}
-		return dom.Register(bytes)
-	}
 	if !opts.SrcRegistered {
-		r, err := register(ep.domain)
+		r, err := ep.register(p, ep.domain, bytes)
 		if err != nil {
 			return fmt.Errorf("send %s->%s: %w", ep.name, peer.name, err)
 		}
-		regs = append(regs, r)
+		srcReg = r
 	}
 	if !opts.DstRegistered && peer.domain != nil {
-		r, err := register(peer.domain)
+		r, err := ep.register(p, peer.domain, bytes)
 		if err != nil {
 			return fmt.Errorf("send %s->%s: %w", ep.name, peer.name, err)
 		}
-		regs = append(regs, r)
+		dstReg = r
 	}
 	if err := p.Sleep(ep.m.SpecV.NICLatency); err != nil {
 		return err
 	}
 	return p.Transfer(ep.m.Net, float64(bytes), ep.node.Out(), peer.node.In())
+}
+
+// register grabs a transient RDMA registration in dom, honoring the
+// endpoint's wait-retry mitigation.
+func (ep *Endpoint) register(p *sim.Proc, dom *rdma.Domain, bytes int64) (*rdma.Region, error) {
+	if ep.mit.waitRetry {
+		return dom.RegisterWait(p, bytes)
+	}
+	return dom.Register(bytes)
 }
 
 func (ep *Endpoint) sendSocket(p *sim.Proc, peer *Endpoint, bytes int64) error {
@@ -379,8 +403,20 @@ func (ep *Endpoint) count(path string, bytes int64) {
 	if reg == nil {
 		return
 	}
-	reg.Counter("transport/" + path + "/msgs").Inc()
-	reg.Counter("transport/" + path + "/bytes").Add(float64(bytes))
+	if reg != ep.ctrReg {
+		ep.ctrReg = reg
+		ep.ctrs = make(map[string]*pathCounters, 4)
+	}
+	c, ok := ep.ctrs[path]
+	if !ok {
+		c = &pathCounters{
+			msgs:  reg.Counter("transport/" + path + "/msgs"),
+			bytes: reg.Counter("transport/" + path + "/bytes"),
+		}
+		ep.ctrs[path] = c
+	}
+	c.msgs.Inc()
+	c.bytes.Add(float64(bytes))
 }
 
 // Close tears down all connections (releasing one descriptor per node per
@@ -390,7 +426,11 @@ func (ep *Endpoint) Close() {
 		return
 	}
 	ep.closed = true
-	for peer := range ep.conns {
+	for _, peer := range ep.connList {
+		if _, ok := ep.conns[peer]; !ok {
+			continue // peer already closed this connection
+		}
+		delete(ep.conns, peer)
 		delete(peer.conns, ep)
 		if ep.mode == ModeSocket {
 			ep.node.Socks.Release(1)
@@ -398,6 +438,7 @@ func (ep *Endpoint) Close() {
 		}
 	}
 	ep.conns = make(map[*Endpoint]struct{})
+	ep.connList = nil
 	if ep.domain != nil && ep.attachedPeers > 0 {
 		ep.domain.RemovePeerMailboxes(ep.attachedPeers)
 		ep.attachedPeers = 0

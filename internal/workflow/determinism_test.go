@@ -1,0 +1,99 @@
+package workflow
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// scaleDeterminismBase is a deliberately larger configuration than the
+// golden-trace one (4+2 ranks): enough ranks that multiple staging
+// servers, replica placement, fault teardown and the incremental
+// fair-share components are all exercised, so nondeterministic map
+// iteration anywhere in the event path shows up as byte drift.
+func scaleDeterminismBase() Config {
+	return Config{
+		Machine:     hpc.Titan(),
+		Method:      MethodDataSpacesNative,
+		Workload:    WorkloadSynthetic,
+		SimProcs:    96,
+		AnaProcs:    48,
+		Steps:       2,
+		Metrics:     true,
+		Replication: 2,
+		Faults: &FaultPlan{
+			Degradations: []LinkDegradation{
+				{Role: RoleStaging, Index: 0, At: 0.5, Duration: 1.0, Factor: 0.25},
+				{Role: RoleStaging, Index: 0, At: 1.0, Duration: 1.0, Factor: 0.5},
+			},
+			Timeouts: []TimeoutWindow{
+				{Role: RoleSim, Index: 3, At: 0.2, Duration: 0.4, Extra: 0.001},
+			},
+		},
+	}
+}
+
+// TestScaleRunByteIdentical locks in the determinism sweep: repeated
+// runs of the larger configuration must produce byte-identical metrics
+// JSON and CSV. This catches regressions to map-order event scheduling
+// (gate failure fan-out, endpoint teardown, store close, abort order)
+// that the tiny golden test is too small to surface.
+func TestScaleRunByteIdentical(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		res, err := Run(scaleDeterminismBase())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.Failed {
+			t.Fatalf("workflow failed: %v", res.FailErr)
+		}
+		js, err := res.Metrics.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js, res.Metrics.EncodeCSV()
+	}
+	aj, ac := run()
+	bj, bc := run()
+	if !bytes.Equal(aj, bj) {
+		t.Error("metrics JSON differs between identical larger-scale runs")
+	}
+	if !bytes.Equal(ac, bc) {
+		t.Error("metrics CSV differs between identical larger-scale runs")
+	}
+}
+
+// TestScaleRunMatchesFullRecompute asserts the end-to-end modeled result
+// is independent of the incremental fair-share optimization: a run with
+// the exact full recomputation forced on every flush produces the same
+// virtual end-to-end time as the default incremental mode.
+func TestScaleRunMatchesFullRecompute(t *testing.T) {
+	cfg := scaleDeterminismBase()
+	inc, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cfg.forceFullRates = true
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run (full recompute): %v", err)
+	}
+	if inc.EndToEnd != full.EndToEnd {
+		t.Errorf("incremental end-to-end %v != full recompute %v", inc.EndToEnd, full.EndToEnd)
+	}
+	ij, err := inc.Metrics.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, err := full.Metrics.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ij, fj) {
+		t.Error("metrics JSON differs between incremental and full recompute modes")
+	}
+}
+
+var _ = sim.Time(0) // keep the sim import if the fault plan types move

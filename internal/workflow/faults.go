@@ -174,30 +174,43 @@ func applyFaultPlan(cfg Config, e *sim.Engine, m *hpc.Machine, lay *layout, det 
 			}
 		})
 	}
+	// Degradation windows on the same node compose multiplicatively: the
+	// effective rate is base x product(open factors), recomputed at every
+	// window edge. Restoring a captured pre-window rate instead would
+	// strand overlapping windows at full capacity the moment the first
+	// one closes, and a window that opens and closes at the same
+	// timestamp nets out to the base rate exactly.
+	degraded := make(map[*hpc.Node]*nodeDegradation)
 	for _, dg := range plan.Degradations {
 		node, err := faultNode(cfg, lay, dg.Role, dg.Index)
 		if err != nil {
 			return err
 		}
-		if node == nil || dg.Duration <= 0 {
+		if node == nil || dg.Duration < 0 {
 			continue
 		}
 		factor := dg.Factor
 		if factor < 0 {
 			factor = 0
 		}
-		in, out := node.In(), node.Out()
-		inRate, outRate := in.Rate(), out.Rate()
+		st, ok := degraded[node]
+		if !ok {
+			st = &nodeDegradation{
+				in: node.In(), out: node.Out(),
+				inBase: node.In().Rate(), outBase: node.Out().Rate(),
+			}
+			degraded[node] = st
+		}
 		e.At(dg.At, func() {
-			m.Net.SetLinkRate(in, inRate*factor)
-			m.Net.SetLinkRate(out, outRate*factor)
+			st.factors = append(st.factors, factor)
+			st.apply(m.Net)
 			if reg != nil {
 				reg.Counter("faults/degradations").Inc()
 			}
 		})
 		e.At(dg.At+dg.Duration, func() {
-			m.Net.SetLinkRate(in, inRate)
-			m.Net.SetLinkRate(out, outRate)
+			st.drop(factor)
+			st.apply(m.Net)
 		})
 	}
 	for _, tw := range plan.Timeouts {
@@ -214,6 +227,33 @@ func applyFaultPlan(cfg Config, e *sim.Engine, m *hpc.Machine, lay *layout, det 
 		}
 	}
 	return nil
+}
+
+// nodeDegradation tracks the open link-degradation windows of one node.
+type nodeDegradation struct {
+	in, out         *sim.Link
+	inBase, outBase float64
+	factors         []float64
+}
+
+// apply retunes the node's NICs to base x product(open factors).
+func (st *nodeDegradation) apply(net *sim.Net) {
+	f := 1.0
+	for _, x := range st.factors {
+		f *= x
+	}
+	net.SetLinkRate(st.in, st.inBase*f)
+	net.SetLinkRate(st.out, st.outBase*f)
+}
+
+// drop removes one open window with the given factor.
+func (st *nodeDegradation) drop(factor float64) {
+	for i, x := range st.factors {
+		if x == factor {
+			st.factors = append(st.factors[:i], st.factors[i+1:]...)
+			return
+		}
+	}
 }
 
 // gateFailer is implemented by couplers whose version gates can be

@@ -136,6 +136,11 @@ type Config struct {
 	// recovery time.
 	HeartbeatInterval float64
 	HeartbeatMisses   int
+
+	// forceFullRates disables the incremental fair-share optimization,
+	// rerunning the exact full recomputation on every network change.
+	// Test-only: results must be bit-identical either way.
+	forceFullRates bool
 }
 
 // resilient reports whether any resilience mechanism is enabled.
@@ -272,6 +277,7 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	m.Net.ForceFullRecompute(cfg.forceFullRates)
 	d, err := buildDriver(cfg)
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,35 @@
+package workflow
+
+import (
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// TestLargeScalePlacementFits builds the full-machine preset for both
+// machines and representative methods and asserts the placement —
+// including the carved-out staging-server nodes — fits the machine's
+// real node count (hpc.New rejects oversubscription).
+func TestLargeScalePlacementFits(t *testing.T) {
+	methods := []Method{MethodDataSpacesNative, MethodDIMESNative, MethodFlexpath, MethodMPIIO}
+	for _, spec := range []hpc.Spec{hpc.Titan(), hpc.Cori()} {
+		for _, method := range methods {
+			for _, nodes := range []int{0, 12} {
+				cfg := LargeScale(spec, method, nodes, 2)
+				budget := nodes
+				if budget == 0 {
+					budget = spec.MaxNodes
+				}
+				if cfg.SimProcs < cfg.AnaProcs || cfg.AnaProcs < 1 {
+					t.Errorf("%s/%s/%d: bad split (%d,%d)",
+						spec.Name, method, nodes, cfg.SimProcs, cfg.AnaProcs)
+				}
+				e := sim.NewEngine()
+				if _, _, err := place(e, cfg); err != nil {
+					t.Errorf("%s/%s/%d nodes: placement failed: %v", spec.Name, method, nodes, err)
+				}
+			}
+		}
+	}
+}

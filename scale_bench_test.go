@@ -1,0 +1,162 @@
+// The scale suite behind `make bench`: the 1k/4k/10k-rank matrix across
+// the three staging couplings, run with fixed configurations (the
+// simulator is seed-deterministic), emitting BENCH_PR4.json and failing
+// if the modelled virtual-time results drift from the committed golden.
+// Wall-clock may improve freely; virtual times and metrics digests must
+// not change.
+//
+// Gated behind IMC_SCALE_BENCH so `go test ./...` stays fast:
+//
+//	IMC_SCALE_BENCH=1 go test -run TestScaleBench -timeout 60m .
+//	IMC_SCALE_BENCH=update go test -run TestScaleBench -timeout 60m .  # regenerate golden
+package imcstudy_test
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/imcstudy/imcstudy"
+)
+
+const benchGolden = "BENCH_PR4.json"
+
+type benchCell struct {
+	Method string `json:"method"`
+	Sim    int    `json:"sim"`
+	Ana    int    `json:"ana"`
+	// VirtualS is the modelled end-to-end time — deterministic, gated.
+	VirtualS float64 `json:"virtual_s"`
+	// MetricsSHA256 digests the full telemetry JSON — deterministic, gated.
+	MetricsSHA256 string `json:"metrics_sha256"`
+	// WallS is the wall-clock cost of simulating the cell — informational.
+	WallS float64 `json:"wall_s"`
+}
+
+type benchFile struct {
+	Machine  string      `json:"machine"`
+	Workload string      `json:"workload"`
+	Steps    int         `json:"steps"`
+	Results  []benchCell `json:"results"`
+}
+
+// benchScales is the rank matrix: ~1k, ~4k and ~10k total ranks at the
+// paper's 2:1 sim:ana split.
+var benchScales = []struct{ sim, ana int }{
+	{682, 342}, {2730, 1366}, {6826, 3414},
+}
+
+var benchMethods = []imcstudy.Method{
+	imcstudy.MethodDataSpacesNative,
+	imcstudy.MethodDIMESNative,
+	imcstudy.MethodFlexpath,
+}
+
+func TestScaleBench(t *testing.T) {
+	mode := os.Getenv("IMC_SCALE_BENCH")
+	if mode == "" {
+		t.Skip("set IMC_SCALE_BENCH=1 (or `make bench`) to run the scale suite")
+	}
+	got := benchFile{Machine: "Titan", Workload: "synthetic", Steps: 2}
+	for _, sc := range benchScales {
+		for _, method := range benchMethods {
+			cfg := imcstudy.RunConfig{
+				Machine:  imcstudy.Titan(),
+				Method:   method,
+				Workload: imcstudy.WorkloadSynthetic,
+				SimProcs: sc.sim,
+				AnaProcs: sc.ana,
+				Steps:    got.Steps,
+				Metrics:  true,
+			}
+			start := time.Now()
+			res, err := imcstudy.Run(cfg)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				t.Fatalf("%s (%d,%d): %v", method, sc.sim, sc.ana, err)
+			}
+			if res.Failed {
+				t.Fatalf("%s (%d,%d): run failed: %v", method, sc.sim, sc.ana, res.FailErr)
+			}
+			js, err := res.Metrics.EncodeJSON()
+			if err != nil {
+				t.Fatalf("%s (%d,%d): encoding metrics: %v", method, sc.sim, sc.ana, err)
+			}
+			sum := sha256.Sum256(js)
+			cell := benchCell{
+				Method: method.String(), Sim: sc.sim, Ana: sc.ana,
+				VirtualS:      float64(res.EndToEnd),
+				MetricsSHA256: fmt.Sprintf("%x", sum),
+				WallS:         wall,
+			}
+			got.Results = append(got.Results, cell)
+			t.Logf("%-28s (%5d,%5d)  virtual %9.4fs  wall %6.2fs",
+				cell.Method, cell.Sim, cell.Ana, cell.VirtualS, cell.WallS)
+		}
+	}
+
+	prev, readErr := os.ReadFile(benchGolden)
+	if mode == "update" || os.IsNotExist(readErr) {
+		writeBenchGolden(t, got)
+		if os.IsNotExist(readErr) {
+			t.Logf("bootstrapped %s; commit it as the golden", benchGolden)
+		}
+		return
+	}
+	if readErr != nil {
+		t.Fatalf("reading %s: %v", benchGolden, readErr)
+	}
+	var want benchFile
+	if err := json.Unmarshal(prev, &want); err != nil {
+		t.Fatalf("parsing %s: %v", benchGolden, err)
+	}
+	if want.Machine != got.Machine || want.Workload != got.Workload || want.Steps != got.Steps {
+		t.Fatalf("golden header mismatch: have %s/%s/%d steps, suite runs %s/%s/%d",
+			want.Machine, want.Workload, want.Steps, got.Machine, got.Workload, got.Steps)
+	}
+	if len(want.Results) != len(got.Results) {
+		t.Fatalf("golden has %d cells, suite ran %d; regenerate with IMC_SCALE_BENCH=update",
+			len(want.Results), len(got.Results))
+	}
+	drift := false
+	for i, w := range want.Results {
+		g := got.Results[i]
+		if w.Method != g.Method || w.Sim != g.Sim || w.Ana != g.Ana {
+			t.Errorf("cell %d is %s(%d,%d), golden expects %s(%d,%d)",
+				i, g.Method, g.Sim, g.Ana, w.Method, w.Sim, w.Ana)
+			drift = true
+			continue
+		}
+		if w.VirtualS != g.VirtualS {
+			t.Errorf("%s (%d,%d): virtual time drifted: golden %.9f, got %.9f",
+				g.Method, g.Sim, g.Ana, w.VirtualS, g.VirtualS)
+			drift = true
+		}
+		if w.MetricsSHA256 != g.MetricsSHA256 {
+			t.Errorf("%s (%d,%d): metrics digest drifted:\ngolden %s\ngot    %s",
+				g.Method, g.Sim, g.Ana, w.MetricsSHA256, g.MetricsSHA256)
+			drift = true
+		}
+	}
+	if drift {
+		t.Fatalf("modelled results drifted from %s; if the model change is intended, "+
+			"regenerate with IMC_SCALE_BENCH=update and explain the drift in the change", benchGolden)
+	}
+	// No drift: refresh the wall-clock numbers in place so the committed
+	// file tracks current simulator performance.
+	writeBenchGolden(t, got)
+}
+
+func writeBenchGolden(t *testing.T, bf benchFile) {
+	t.Helper()
+	js, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchGolden, append(js, '\n'), 0o644); err != nil {
+		t.Fatalf("writing %s: %v", benchGolden, err)
+	}
+}
