@@ -1,10 +1,19 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: check build vet test race bench microbench fuzz tidy
+.PHONY: check build vet lint test race bench microbench fuzz tidy
 
-# check is the CI gate: compile everything, vet, run the full test
-# suite under the race detector, and give the fuzzers a short shake.
-check: build vet race fuzz
+# check is the CI gate: compile everything, vet, lint the determinism
+# invariants, run the full test suite under the race detector, and give
+# the fuzzers a short shake.
+check: build vet lint race fuzz
+
+# lint runs the imclint determinism suite (eventorder, maprange,
+# metricsnil, walltime — see README "Static analysis") over the whole
+# tree; it exits non-zero on any finding. The same binary also works as
+# `go vet -vettool=$(go env GOPATH)/bin/imclint ./...`.
+lint:
+	$(GO) run ./cmd/imclint ./...
 
 build:
 	$(GO) build ./...
@@ -30,10 +39,18 @@ bench:
 microbench:
 	$(GO) test -bench . -benchtime 2x -run '^$$' .
 
-# fuzz runs the native fuzzers briefly; saved crashers in testdata/fuzz
-# replay as regular regression tests under `make test`.
+# fuzz discovers every native fuzzer in the tree (`go test -list`) and
+# gives each FUZZTIME of shaking; saved crashers in testdata/fuzz replay
+# as regular regression tests under `make test`. Discovery means a new
+# FuzzXxx is picked up without editing this file.
 fuzz:
-	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzBlockSetQuery -fuzztime 5s
+	@set -e; \
+	$(GO) test -run '^$$' -list '^Fuzz' ./... | \
+	awk '$$1 ~ /^Fuzz/ { names[n++] = $$1 } $$1 == "ok" { for (i = 0; i < n; i++) print $$2, names[i]; n = 0 }' | \
+	while read pkg fz; do \
+		echo "-- fuzz $$fz ($$pkg, $(FUZZTIME)) --"; \
+		$(GO) test $$pkg -run '^$$' -fuzz "^$$fz$$" -fuzztime $(FUZZTIME); \
+	done
 
 tidy:
 	$(GO) mod tidy

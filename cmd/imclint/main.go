@@ -1,0 +1,177 @@
+// Command imclint runs the testbed's determinism analyzers (eventorder,
+// maprange, metricsnil, walltime — see internal/lint) over Go packages.
+//
+// Standalone (what `make lint` runs):
+//
+//	imclint ./...
+//
+// prints findings as file:line:col: analyzer: message and exits 2 when
+// there are any, so CI fails on the first order-dependent map walk or
+// wall-clock call that sneaks into modelled code.
+//
+// As a vet tool:
+//
+//	go vet -vettool=$(go env GOPATH)/bin/imclint ./...
+//
+// imclint speaks cmd/go's unitchecker protocol: it answers the -V=full
+// build-ID handshake, accepts a *.cfg JSON file describing one package
+// unit, resolves imports from the export data the go command already
+// built, and writes the (empty) facts file the protocol requires.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/imcstudy/imcstudy/internal/lint"
+	"github.com/imcstudy/imcstudy/internal/lint/analysis"
+	"github.com/imcstudy/imcstudy/internal/lint/load"
+)
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go probes the tool's identity before trusting it with a unit.
+	if len(args) == 1 && args[0] == "-V=full" {
+		fmt.Println("imclint version 1.0.0")
+		return
+	}
+	// `go vet` asks for the tool's flag schema before the first unit;
+	// the suite exposes no tool-level flags.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// runStandalone loads the given package patterns (default ./...) and
+// applies the suite.
+func runStandalone(patterns []string) int {
+	ld, err := load.New(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	pkgs, err := ld.Targets()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		fmt.Println(format(ld.Fset(), cwd, d))
+	}
+	return 2
+}
+
+// vetConfig mirrors the fields of cmd/go's vet configuration JSON that
+// the suite needs (see $GOROOT/src/cmd/go/internal/work/exec.go).
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one package unit described by a vet .cfg file.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imclint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "imclint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The protocol requires a facts file even though the suite exports
+	// no facts; cmd/go caches it and feeds it to dependent vet runs.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("imclint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "imclint:", err)
+			return 1
+		}
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	ld := load.FromImporter(fset, importer.ForCompiler(fset, "gc", lookup), majorMinor(cfg.GoVersion))
+	pkg, err := ld.Check(cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags, err := lint.Run([]*load.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, format(fset, "", d))
+	}
+	return 2
+}
+
+// majorMinor trims "go1.22.5" to the "go1.22" form go/types accepts.
+func majorMinor(v string) string {
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return v
+	}
+	return parts[0] + "." + parts[1]
+}
+
+// format renders one diagnostic, with paths relative to base when that
+// is shorter (the standalone CLI case).
+func format(fset *token.FileSet, base string, d analysis.Diagnostic) string {
+	p := fset.Position(d.Pos)
+	name := p.Filename
+	if base != "" {
+		if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", name, p.Line, p.Column, d.Analyzer, d.Message)
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetToolProtocol builds imclint and drives it the way cmd/go
+// does: the -V=full identity handshake, the -flags schema probe, and a
+// real `go vet -vettool` run over a leaf package.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and invokes go vet")
+	}
+	tool := filepath.Join(t.TempDir(), "imclint")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building imclint: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(tool, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if f := strings.Fields(string(out)); len(f) < 3 || f[1] != "version" {
+		t.Fatalf("-V=full output %q does not satisfy cmd/go's buildID parser", out)
+	}
+
+	out, err = exec.Command(tool, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if !bytes.HasPrefix(bytes.TrimSpace(out), []byte("[")) {
+		t.Fatalf("-flags must print a JSON flag array, got %q", out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./internal/metrics", "./internal/staging")
+	vet.Dir = filepath.Join("..", "..")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean packages failed: %v\n%s", err, out)
+	}
+}

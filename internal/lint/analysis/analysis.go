@@ -1,0 +1,100 @@
+// Package analysis is a self-contained miniature of golang.org/x/tools'
+// go/analysis framework: an Analyzer inspects one type-checked package
+// through a Pass and reports position-anchored Diagnostics.
+//
+// The real x/tools module would be the obvious dependency, but this
+// repository builds hermetically from the standard library alone (no
+// module downloads in CI or air-gapped runs), so the ~150 lines of
+// framework the imclint suite actually needs live here instead. The API
+// mirrors x/tools closely enough that the analyzers would port over
+// mechanically if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by `imclint -help`.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass presents one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Posn resolves a diagnostic position against the pass's file set.
+func (p *Pass) Posn(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// SortDiagnostics orders findings by (file, line, column, analyzer,
+// message) and drops exact duplicates, so driver output is byte-stable
+// regardless of analyzer execution order.
+func SortDiagnostics(fset *token.FileSet, ds []Diagnostic) []Diagnostic {
+	type keyed struct {
+		key string
+		d   Diagnostic
+	}
+	ks := make([]keyed, 0, len(ds))
+	for _, d := range ds {
+		p := fset.Position(d.Pos)
+		ks = append(ks, keyed{
+			key: fmt.Sprintf("%s\x00%08d\x00%08d\x00%s\x00%s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message),
+			d:   d,
+		})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := ds[:0]
+	var last string
+	for i, k := range ks {
+		if i > 0 && k.key == last {
+			continue
+		}
+		last = k.key
+		out = append(out, k.d)
+	}
+	return out
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Tests measure wall time and shake data structures with ad-hoc
+// iteration on purpose, so the determinism analyzers skip them.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/imcstudy/imcstudy/internal/lint/analysis"
+)
+
+// EventOrder flags event-scheduling and resource-release calls made
+// while iterating an unordered container. Each such call enqueues work
+// on the engine in iteration order — Event.Fire schedules its waiters'
+// wake-ups, Resource.Release hands capacity to the FIFO queue — so a
+// map-ordered loop turns into a different event schedule every run.
+// This is precisely the bug class the PR 4 sweep fixed by hand in
+// staging.Gate.Fail, Store.Close, dimes/transport Close and sim
+// abortAll; the analyzer keeps it fixed.
+var EventOrder = &analysis.Analyzer{
+	Name: "eventorder",
+	Doc:  "flags event-scheduling/resource-release calls inside range over an unordered map",
+	Run:  runEventOrder,
+}
+
+// schedulingMethods are the internal/sim methods that enqueue or
+// release engine work; calling one per map-iteration makes the event
+// schedule follow map order.
+var schedulingMethods = map[string]bool{
+	"Fire": true, "Spawn": true, "At": true, "Sleep": true,
+	"Wait": true, "WaitAll": true, "Acquire": true, "TryAcquire": true,
+	"Release": true, "Transfer": true, "SetLinkRate": true, "Run": true,
+}
+
+func runEventOrder(pass *analysis.Pass) error {
+	if !inModelledScope(pass.Pkg.Path()) {
+		return nil
+	}
+	w := collectWaivers(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if waived(pass, w, rs.Pos()) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					// A literal only runs later, when something calls it;
+					// the scheduling call that registers it is what counts.
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil {
+					return true
+				}
+				if !isSimPackage(fn.Pkg()) || !schedulingMethods[fn.Name()] {
+					return true
+				}
+				if !waived(pass, w, call.Pos()) {
+					pass.Reportf(call.Pos(), "%s.%s scheduled while ranging over a map: the event order follows map order; fire/release over a sorted key slice or waive with //imclint:deterministic -- reason", recvTypeName(sig), fn.Name())
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// isSimPackage matches the engine package both in-tree and in fixture
+// form.
+func isSimPackage(p *types.Package) bool {
+	return p.Path() == "github.com/imcstudy/imcstudy/internal/sim" ||
+		strings.HasSuffix(p.Path(), "/internal/sim") || p.Path() == "sim"
+}
+
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return "sim." + n.Obj().Name()
+	}
+	return "sim"
+}

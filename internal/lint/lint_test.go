@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/lint"
+	"github.com/imcstudy/imcstudy/internal/lint/analysistest"
+)
+
+// Each analyzer is exercised against positive, negative and waiver
+// fixtures; plainpkg proves the modelled-scope gate (its code would
+// trip every analyzer if the package were in scope).
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, lint.MapRange, "staging/maprange", "plainpkg")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, lint.WallTime, "hpc/walltime", "plainpkg")
+}
+
+func TestEventOrder(t *testing.T) {
+	analysistest.Run(t, lint.EventOrder, "sim/eventorder", "plainpkg")
+}
+
+func TestMetricsNil(t *testing.T) {
+	analysistest.Run(t, lint.MetricsNil, "metricsuser")
+}

@@ -1,0 +1,401 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/imcstudy/imcstudy/internal/lint/analysis"
+)
+
+// MapRange flags `for range` over a map in modelled or report-emitting
+// packages unless the loop body is provably order-insensitive. Go
+// randomizes map iteration order per loop, so anything order-dependent
+// inside such a loop (event scheduling, output emission, float
+// accumulation, last-writer-wins assignment) silently varies between
+// bit-identical runs — the exact class of regression the PR 2–4 manual
+// determinism sweeps existed to catch.
+//
+// A loop passes when every statement commutes across iterations:
+//   - collecting keys/values into a slice that is sorted before use,
+//   - copying or deleting entries keyed by the range key in another map,
+//   - integer accumulation (+=, counters, bit-sets) — exact and
+//     order-free, unlike float addition,
+//   - call-free locals and guards built from the above.
+//
+// Anything else needs a sorted key slice or an explicit
+// `//imclint:deterministic -- reason` waiver.
+var MapRange = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "flags order-dependent iteration over maps in modelled and report-emitting packages",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *analysis.Pass) error {
+	if !inOutputScope(pass.Pkg.Path()) {
+		return nil
+	}
+	w := collectWaivers(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Walk per enclosing function so the sorted-collector rule can
+		// look for a sort call between the loop and the function's end.
+		eachFuncBody(f, func(body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // literals get their own eachFuncBody visit
+				}
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if waived(pass, w, rs.Pos()) {
+					return true
+				}
+				c := &bodyClassifier{pass: pass}
+				if !c.benignBlock(rs.Body) {
+					pass.Reportf(rs.Pos(), "range over map has an order-dependent body (%s); iterate a sorted key slice or waive with //imclint:deterministic -- reason", c.why)
+					return true
+				}
+				for _, coll := range c.collectors {
+					if !sortedAfter(body, rs, coll) {
+						pass.Reportf(rs.Pos(), "slice %q collected from map range is never sorted before use; sort it (sort.*, slices.Sort*, sortKeys) or waive with //imclint:deterministic -- reason", coll.Name)
+					}
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// eachFuncBody invokes fn on the body of every function declaration and
+// function literal in f.
+func eachFuncBody(f *ast.File, fn func(*ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// bodyClassifier decides whether a map-range body commutes across
+// iterations, recording collector slices and the first offending
+// construct for the diagnostic.
+type bodyClassifier struct {
+	pass       *analysis.Pass
+	collectors []*ast.Ident
+	why        string
+}
+
+func (c *bodyClassifier) fail(why string) bool {
+	if c.why == "" {
+		c.why = why
+	}
+	return false
+}
+
+func (c *bodyClassifier) benignBlock(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if !c.benignStmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *bodyClassifier) benignStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return c.benignAssign(s)
+	case *ast.IncDecStmt:
+		if !isIntegral(c.pass.TypesInfo.TypeOf(s.X)) {
+			return c.fail("non-integer ++/--")
+		}
+		if !c.callFree(s.X) {
+			return c.fail("call in ++/-- operand")
+		}
+		return true
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR && gd.Tok != token.CONST {
+			return c.fail("declaration")
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return c.fail("declaration")
+			}
+			for _, v := range vs.Values {
+				if !c.callFree(v) {
+					return c.fail("call in declaration")
+				}
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil && !c.benignStmt(s.Init) {
+			return false
+		}
+		if !c.callFree(s.Cond) {
+			return c.fail("call in if condition")
+		}
+		if !c.benignBlock(s.Body) {
+			return false
+		}
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				return c.benignBlock(e)
+			case *ast.IfStmt:
+				return c.benignStmt(e)
+			}
+		}
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && c.builtinName(call) == "delete" {
+			for _, a := range call.Args {
+				if !c.callFree(a) {
+					return c.fail("call in delete argument")
+				}
+			}
+			return true
+		}
+		return c.fail("call with side effects")
+	case *ast.BranchStmt:
+		// continue just moves to the next element; break/goto/fallthrough
+		// act on one arbitrary element.
+		if s.Tok == token.CONTINUE && s.Label == nil {
+			return true
+		}
+		return c.fail("break/goto selects an arbitrary map element")
+	case *ast.EmptyStmt:
+		return true
+	case *ast.BlockStmt:
+		return c.benignBlock(s)
+	default:
+		return c.fail(describeStmt(s))
+	}
+}
+
+func (c *bodyClassifier) benignAssign(s *ast.AssignStmt) bool {
+	// s = append(s, ...): a collector; the caller checks it is sorted.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && c.builtinName(call) == "append" {
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return c.fail("append to non-identifier")
+			}
+			for _, a := range call.Args {
+				if !c.callFree(a) {
+					return c.fail("call in append argument")
+				}
+			}
+			c.collectors = append(c.collectors, id)
+			return true
+		}
+	}
+	switch s.Tok {
+	case token.DEFINE:
+		for _, r := range s.Rhs {
+			if !c.callFree(r) {
+				return c.fail("call in := value")
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN,
+		token.XOR_ASSIGN, token.AND_NOT_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN:
+		// Compound accumulation commutes only over integers; float
+		// addition picks up different rounding in a different order.
+		for _, l := range s.Lhs {
+			if !isIntegral(c.pass.TypesInfo.TypeOf(l)) {
+				return c.fail("non-integer compound assignment")
+			}
+			if !c.callFree(l) {
+				return c.fail("call in assignment target")
+			}
+		}
+		for _, r := range s.Rhs {
+			if !c.callFree(r) {
+				return c.fail("call in assignment value")
+			}
+		}
+		return true
+	case token.ASSIGN:
+		// Plain `=` is benign only when the target is another map keyed
+		// per-iteration (m2[k] = v): each key is written exactly once, so
+		// order cannot matter. Assigning a loop value to an outer
+		// variable is last-writer-wins — a map-order lottery.
+		for _, l := range s.Lhs {
+			ix, ok := l.(*ast.IndexExpr)
+			if !ok {
+				return c.fail("last-writer-wins assignment")
+			}
+			xt := c.pass.TypesInfo.TypeOf(ix.X)
+			if xt == nil {
+				return c.fail("last-writer-wins assignment")
+			}
+			if _, isMap := xt.Underlying().(*types.Map); !isMap {
+				return c.fail("order-dependent indexed assignment")
+			}
+			if !c.callFree(ix.Index) {
+				return c.fail("call in map-store key")
+			}
+		}
+		for _, r := range s.Rhs {
+			if !c.callFree(r) {
+				return c.fail("call in map-store value")
+			}
+		}
+		return true
+	default:
+		return c.fail("order-dependent assignment")
+	}
+}
+
+// pureBuiltins are builtin calls with no side effects; anything else
+// inside a supposedly order-free expression disqualifies the loop.
+var pureBuiltins = map[string]bool{
+	"len": true, "cap": true, "min": true, "max": true,
+	"real": true, "imag": true, "complex": true, "abs": true,
+}
+
+// purePkgs are stdlib packages whose exported package-level functions
+// are deterministic and side-effect free, so calling them inside a
+// map-range body cannot leak iteration order (e.g. a strings.HasPrefix
+// filter guarding a collector append).
+var purePkgs = map[string]bool{
+	"strings": true, "bytes": true, "unicode": true,
+	"unicode/utf8": true, "math": true, "math/bits": true,
+	"strconv": true, "path": true, "path/filepath": true,
+}
+
+// builtinName returns the builtin a call invokes, or "".
+func (c *bodyClassifier) builtinName(call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// callFree reports whether e contains no function calls other than type
+// conversions and pure builtins.
+func (c *bodyClassifier) callFree(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	free := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		if pureBuiltins[c.builtinName(call)] {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && purePkgs[fn.Pkg().Path()] {
+					return true
+				}
+			}
+		}
+		free = false
+		return false
+	})
+	return free
+}
+
+func isIntegral(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sortedAfter reports whether, somewhere after loop inside the
+// enclosing function body, the collector slice is passed to a call
+// whose name mentions sorting (sort.Strings, sort.Slice, slices.Sort,
+// a local sortKeys helper, ...).
+func sortedAfter(body *ast.BlockStmt, loop *ast.RangeStmt, coll *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < loop.End() {
+			return true
+		}
+		if !strings.Contains(strings.ToLower(callName(call)), "sort") {
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := a.(*ast.Ident); ok && id.Name == coll.Name {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callName renders the called function as "pkg.Func", "recv.Method" or
+// "Func" for the sorted-collector name heuristic.
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func describeStmt(s ast.Stmt) string {
+	switch s.(type) {
+	case *ast.ReturnStmt:
+		return "return depends on an arbitrary map element"
+	case *ast.BranchStmt:
+		return "break/goto selects an arbitrary map element"
+	case *ast.GoStmt:
+		return "goroutine launch"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.RangeStmt, *ast.ForStmt:
+		return "nested loop"
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return "switch"
+	default:
+		return "order-dependent statement"
+	}
+}

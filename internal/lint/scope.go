@@ -1,0 +1,54 @@
+// Package lint hosts the imclint analyzers: machine-enforced versions
+// of the determinism and virtual-time invariants the testbed's results
+// depend on (see README "Static analysis"). Every modelled result in
+// EXPERIMENTS.md is gated on byte-identical reruns; these analyzers
+// turn the manual determinism sweeps of earlier PRs into a compile-time
+// gate.
+package lint
+
+import "strings"
+
+// modelledPkgs names the packages whose code runs under (or feeds) the
+// discrete-event engine or emits deterministic reports. A package is in
+// scope when any path segment matches, so test fixtures can opt in with
+// a directory name ("staging/maprange") without living in the real
+// tree. internal/lint itself is deliberately absent: the linter is host
+// tooling, not modelled code.
+var modelledPkgs = map[string]bool{
+	"adios": true, "bp": true, "core": true, "dataspaces": true,
+	"decaf": true, "dimes": true, "ffs": true, "flexpath": true,
+	"gpu": true, "hpc": true, "lammps": true, "laplace": true,
+	"lustre": true, "memprof": true, "metrics": true, "mpi": true,
+	"mpiio": true, "ndarray": true, "rdma": true, "sfc": true,
+	"sim": true, "staging": true, "synthetic": true, "trace": true,
+	"transport": true, "workflow": true,
+}
+
+// inModelledScope reports whether pkgPath holds modelled code: virtual
+// time only, no order-dependent iteration feeding the engine.
+func inModelledScope(pkgPath string) bool {
+	for _, seg := range strings.Split(pkgPath, "/") {
+		if seg == "lint" {
+			return false
+		}
+		if modelledPkgs[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+// inOutputScope is the wider maprange scope: modelled packages plus the
+// cmd/ tools, whose reports and tables must be byte-stable so diffs of
+// committed experiment output stay meaningful.
+func inOutputScope(pkgPath string) bool {
+	if inModelledScope(pkgPath) {
+		return true
+	}
+	for _, seg := range strings.Split(pkgPath, "/") {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"github.com/imcstudy/imcstudy/internal/lint/analysis"
+	"github.com/imcstudy/imcstudy/internal/lint/load"
+)
+
+// Analyzers returns the imclint suite in its canonical order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{EventOrder, MapRange, MetricsNil, WallTime}
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position (duplicates collapsed), ready to print.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		diags = analysis.SortDiagnostics(pkgs[0].Fset, diags)
+	}
+	return diags, nil
+}

@@ -1,0 +1,56 @@
+// Fixture for the eventorder analyzer ("sim" segment puts it in
+// modelled scope). It imports the real engine so receiver types resolve
+// exactly as they do in the tree.
+package eventorder
+
+import (
+	"sort"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+func fireAll(m map[string]*sim.Event) {
+	for _, ev := range m {
+		ev.Fire(nil) // want `sim\.Event\.Fire scheduled while ranging over a map`
+	}
+}
+
+func releaseAll(m map[string]*sim.Resource) {
+	for _, r := range m {
+		r.Release(1) // want `sim\.Resource\.Release scheduled while ranging over a map`
+	}
+}
+
+func spawnPerKey(e *sim.Engine, m map[string]int) {
+	for name := range m {
+		e.Spawn(name, func(p *sim.Proc) error { return nil }) // want `sim\.Engine\.Spawn scheduled while ranging over a map`
+	}
+}
+
+// fireSorted is the approved shape: snapshot the keys, sort, then fire.
+func fireSorted(m map[string]*sim.Event) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m[k].Fire(nil)
+	}
+}
+
+// readOnly calls non-scheduling engine methods; those are fine.
+func readOnly(m map[string]*sim.Resource) int64 {
+	var used int64
+	for _, r := range m {
+		used += r.Used()
+	}
+	return used
+}
+
+func waivedFire(m map[string]*sim.Event) {
+	//imclint:deterministic -- fixture: map holds at most one element by construction
+	for _, ev := range m {
+		ev.Fire(nil)
+	}
+}

@@ -1,0 +1,104 @@
+// Fixture for the maprange analyzer: the directory path contains the
+// "staging" segment, so the package is in modelled scope.
+package maprange
+
+import "sort"
+
+// sortedCollector is the approved idiom: collect, then sort.
+func sortedCollector(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// localSortHelper must also satisfy the sorted-collector rule.
+func localSortHelper(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []int) { sort.Ints(keys) }
+
+func unsortedCollector(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `collected from map range is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func emit(m map[string]int) {
+	for k, v := range m { // want `order-dependent body`
+		println(k, v)
+	}
+}
+
+func lastWriter(m map[string]int) int {
+	last := 0
+	for _, v := range m { // want `order-dependent body \(last-writer-wins assignment\)`
+		last = v
+	}
+	return last
+}
+
+// floatSum is order-dependent: float addition rounds differently in a
+// different order.
+func floatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `order-dependent body \(non-integer compound assignment\)`
+		s += v
+	}
+	return s
+}
+
+func breakout(m map[string]int) {
+	for range m { // want `break/goto selects an arbitrary map element`
+		break
+	}
+}
+
+// intCount commutes exactly; no diagnostic.
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n += v
+		}
+	}
+	return n
+}
+
+// mapCopy stores per-key into another map; order cannot escape.
+func mapCopy(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// sliceRange is not a map; out of the analyzer's jurisdiction.
+func sliceRange(s []int) {
+	for _, v := range s {
+		println(v)
+	}
+}
+
+func waivedEmit(m map[string]int) {
+	//imclint:deterministic -- fixture: stand-in for a reviewed order-insensitive loop
+	for k := range m {
+		println(k)
+	}
+}
+
+func waivedWithoutReason(m map[string]int) {
+	//imclint:deterministic
+	for k := range m { // want `waiver is missing a reason`
+		println(k)
+	}
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/imcstudy/imcstudy/internal/lint/analysis"
+)
+
+// waiverMarker is the directive that suppresses an imclint finding on
+// the same or the following line. A reason is mandatory:
+//
+//	//imclint:deterministic -- emission order is cosmetic, report is re-sorted
+//	for k := range m { ... }
+const waiverMarker = "imclint:deterministic"
+
+// waivers indexes waiver directives by file and line.
+type waivers struct {
+	fset *token.FileSet
+	// reasons maps filename -> line -> stated reason ("" when missing).
+	reasons map[string]map[int]string
+}
+
+// collectWaivers scans the pass's files for waiver directives.
+func collectWaivers(fset *token.FileSet, files []*ast.File) *waivers {
+	w := &waivers{fset: fset, reasons: make(map[string]map[int]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimLeft(text, " \t")
+				if !strings.HasPrefix(text, waiverMarker) {
+					continue
+				}
+				reason := strings.TrimPrefix(text, waiverMarker)
+				reason = strings.TrimLeft(reason, " \t-—:")
+				p := fset.Position(c.Pos())
+				m := w.reasons[p.Filename]
+				if m == nil {
+					m = make(map[int]string)
+					w.reasons[p.Filename] = m
+				}
+				m[p.Line] = strings.TrimSpace(reason)
+			}
+		}
+	}
+	return w
+}
+
+// at returns the waiver covering pos: a directive on the same line or
+// the line directly above.
+func (w *waivers) at(pos token.Pos) (reason string, ok bool) {
+	p := w.fset.Position(pos)
+	m := w.reasons[p.Filename]
+	if m == nil {
+		return "", false
+	}
+	if r, ok := m[p.Line]; ok {
+		return r, true
+	}
+	if r, ok := m[p.Line-1]; ok {
+		return r, true
+	}
+	return "", false
+}
+
+// waived reports whether pos carries a waiver. A waiver with no stated
+// reason still suppresses the underlying finding but is itself reported,
+// so a bare directive can never land silently.
+func waived(pass *analysis.Pass, w *waivers, pos token.Pos) bool {
+	reason, ok := w.at(pos)
+	if !ok {
+		return false
+	}
+	if reason == "" {
+		pass.Reportf(pos, "imclint:deterministic waiver is missing a reason (write \"//imclint:deterministic -- why this is safe\")")
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/imcstudy/imcstudy/internal/lint/analysis"
+)
+
+// WallTime forbids wall-clock reads and unseeded randomness in modelled
+// packages. Modelled code advances on the virtual clock (sim.Engine.Now
+// / Proc.Sleep) and draws randomness from explicitly seeded sources
+// (rand.New(rand.NewSource(seed))); time.Now or global math/rand calls
+// make two runs of the same configuration diverge, breaking the
+// byte-identity every golden in EXPERIMENTS.md relies on. Test files
+// are exempt (they legitimately measure wall time), as are the cmd/
+// bench harnesses, which are outside the modelled scope.
+var WallTime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbids wall-clock and unseeded-randomness calls in modelled packages",
+	Run:  runWallTime,
+}
+
+// bannedTime are the package-level `time` functions that read or wait
+// on the wall clock. Pure constructors/converters (time.Duration,
+// time.Unix, time.Date) stay legal.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRand are the package-level math/rand (and /v2) functions that
+// construct explicitly seeded generators; every other package-level
+// call uses the shared global source and is banned. Methods on a
+// *rand.Rand are always fine — the source was seeded at construction.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runWallTime(pass *analysis.Pass) error {
+	if !inModelledScope(pass.Pkg.Path()) {
+		return nil
+	}
+	w := collectWaivers(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] && !waived(pass, w, call.Pos()) {
+					pass.Reportf(call.Pos(), "wall-clock call time.%s in modelled package; use the virtual clock (sim.Engine.Now, Proc.Sleep) or waive with //imclint:deterministic -- reason", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] && !waived(pass, w, call.Pos()) {
+					pass.Reportf(call.Pos(), "global rand.%s in modelled package; draw from a seeded rand.New(rand.NewSource(seed)) or waive with //imclint:deterministic -- reason", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

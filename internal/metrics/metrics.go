@@ -379,9 +379,11 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		snap.Gauges[name] = gaugeOut{Value: g.v, Peak: g.peak}
 	}
+	//imclint:deterministic -- per-key pure copy into a map; Mean reads only the histogram and encoders emit keys sorted
 	for name, h := range r.histograms {
 		snap.Histograms[name] = histOut{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Mean: h.Mean()}
 	}
+	//imclint:deterministic -- per-key pure copy into a map; Samples reads only the series and encoders emit keys sorted
 	for name, s := range r.series {
 		snap.Series[name] = s.Samples()
 	}

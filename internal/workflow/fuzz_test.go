@@ -1,0 +1,54 @@
+package workflow
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// FuzzFaultPlan asserts the seed-determinism contract of FaultPlan:
+// expanding the same plan twice — random crashes included — must yield
+// byte-for-byte identical crash schedules, because every faulted golden
+// in EXPERIMENTS.md assumes a plan can be reproduced from (Seed,
+// RandomCrashes, Horizon) alone. It also pins the documented ordering
+// property: expanded crashes come out sorted by injection time.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(int64(0), 0, 0.0, 0)
+	f.Add(int64(1), 3, 10.0, 4)
+	f.Add(int64(-7), 16, 0.5, 1)
+	f.Add(int64(1<<40), 8, 1e6, 32)
+	f.Fuzz(func(t *testing.T, seed int64, randomCrashes int, horizon float64, stagingNodes int) {
+		if randomCrashes < 0 || randomCrashes > 256 || stagingNodes < 0 || stagingNodes > 4096 {
+			t.Skip("out of modelled range")
+		}
+		if math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+			t.Skip("non-finite horizon never reaches expandCrashes via config validation")
+		}
+		fp := &FaultPlan{
+			Seed:               seed,
+			RandomCrashes:      randomCrashes,
+			RandomCrashHorizon: sim.Time(horizon),
+			Crashes: []NodeCrash{
+				{Role: RoleSim, Index: 0, At: 2},
+				{Role: RoleStaging, Index: stagingNodes / 2, At: 1},
+			},
+		}
+		first := fp.expandCrashes(stagingNodes)
+		second := fp.expandCrashes(stagingNodes)
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("same seed produced different plans:\n%v\n%v", first, second)
+		}
+		for i := 1; i < len(first); i++ {
+			if first[i-1].At > first[i].At {
+				t.Fatalf("expanded crashes not sorted by time at %d: %v", i, first)
+			}
+		}
+		if randomCrashes > 0 && stagingNodes > 0 {
+			if want := randomCrashes + len(fp.Crashes); len(first) != want {
+				t.Fatalf("expanded %d crashes, want %d", len(first), want)
+			}
+		}
+	})
+}
