@@ -1,15 +1,17 @@
 GO ?= go
 FUZZTIME ?= 5s
+PROF_OUT ?= imcprof-smoke.json
 
-.PHONY: check build vet lint test race bench microbench fuzz tidy
+.PHONY: check build vet lint test race bench microbench fuzz prof-smoke tidy
 
 # check is the CI gate: compile everything, vet, lint the determinism
-# invariants, run the full test suite under the race detector, and give
-# the fuzzers a short shake.
-check: build vet lint race fuzz
+# invariants, run the full test suite under the race detector, give the
+# fuzzers a short shake, and prove the self-profiling pipeline end to
+# end.
+check: build vet lint race fuzz prof-smoke
 
 # lint runs the imclint determinism suite (eventorder, maprange,
-# metricsnil, walltime — see README "Static analysis") over the whole
+# metricsnil, profnil, walltime — see README "Static analysis") over the whole
 # tree; it exits non-zero on any finding. The same binary also works as
 # `go vet -vettool=$(go env GOPATH)/bin/imclint ./...`.
 lint:
@@ -27,11 +29,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# prof-smoke is the self-profiling end-to-end check: capture a small
+# profiled run, then parse and summarize the journal with imcprof. CI
+# uploads $(PROF_OUT) as a workflow artifact so every run leaves an
+# inspectable profile behind.
+prof-smoke:
+	$(GO) run ./cmd/imcprof capture -sim 64 -ana 32 -steps 2 -label "ci smoke" -o $(PROF_OUT)
+	$(GO) run ./cmd/imcprof report -top 10 $(PROF_OUT)
+
 # bench runs the 1k/4k/10k-rank scale suite with fixed configurations,
-# rewrites BENCH_PR4.json (wall-clock numbers track the current tree)
-# and fails if the modelled virtual-time results or metrics digests
-# drift from the committed golden. IMC_SCALE_BENCH=update regenerates
-# the golden after an intended model change.
+# rewrites BENCH_PR7.json (wall-clock numbers and self-profiler
+# annotations track the current tree) and fails if the modelled
+# virtual-time results or metrics digests drift from the committed
+# golden. IMC_SCALE_BENCH=update regenerates the golden after an
+# intended model change.
 bench:
 	IMC_SCALE_BENCH=$${IMC_SCALE_BENCH:-1} $(GO) test -run TestScaleBench -count=1 -timeout 60m -v .
 

@@ -9,12 +9,21 @@
 // Experiments: table1 table2 table3 table4 table5 fig2a fig2b fig3 fig4
 // fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 findings mitigations
 // ablations gpustudy resilience resilience-cost scale
+//
+// The -cpuprofile, -memprofile and -traceprofile flags wrap the selected
+// experiments in the Go runtime's profilers, for digging below the event
+// sites that `imcprof report` names (which Go function inside a hot
+// site, where the allocations come from). They profile this process —
+// the simulator — never the modelled system.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"time"
 
@@ -33,9 +42,17 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "trim sweeps to a few representative points")
 	steps := fs.Int("steps", 3, "coupling steps per run")
 	chart := fs.Bool("chart", false, "also render each table's final column as ASCII bars")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to `file`")
+	traceProfile := fs.String("traceprofile", "", "write a runtime execution trace to `file`")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := startProfiling(*cpuProfile, *memProfile, *traceProfile)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	o := imcstudy.ExperimentOptions{Quick: *quick, Steps: *steps}
 	reg := registry(o)
 
@@ -64,6 +81,64 @@ func run(args []string) error {
 		fmt.Printf("-- %s generated in %.1fs --\n\n", name, time.Since(start).Seconds())
 	}
 	return nil
+}
+
+// startProfiling turns on the requested runtime profilers and returns
+// the function that stops them and writes the at-exit profiles.
+func startProfiling(cpuFile, memFile, traceFile string) (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	fail := func(err error) (func(), error) {
+		stop()
+		return nil, err
+	}
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if memFile != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "imcbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "imcbench: memprofile:", err)
+			}
+		})
+	}
+	return stop, nil
 }
 
 // registry maps experiment names to generators.

@@ -36,6 +36,7 @@ import (
 	"github.com/imcstudy/imcstudy/internal/core"
 	"github.com/imcstudy/imcstudy/internal/hpc"
 	"github.com/imcstudy/imcstudy/internal/metrics"
+	"github.com/imcstudy/imcstudy/internal/prof"
 	"github.com/imcstudy/imcstudy/internal/synthetic"
 	"github.com/imcstudy/imcstudy/internal/transport"
 	"github.com/imcstudy/imcstudy/internal/workflow"
@@ -63,6 +64,11 @@ type (
 	// MetricsRegistry is a run's telemetry registry (RunResult.Metrics
 	// when RunConfig.Metrics was set); see its EncodeJSON/EncodeCSV.
 	MetricsRegistry = metrics.Registry
+	// RunProfile is a simulator self-profile (RunResult.Profile when
+	// RunConfig.Profile was set): wall-time/event/allocation
+	// attribution per (component kind, event site). Read one back with
+	// prof.Decode via cmd/imcprof.
+	RunProfile = prof.Profile
 	// FaultPlan is a seed-deterministic schedule of injected faults
 	// (RunConfig.Faults): node crashes, link degradations, timeout windows.
 	FaultPlan = workflow.FaultPlan

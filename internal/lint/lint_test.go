@@ -26,3 +26,7 @@ func TestEventOrder(t *testing.T) {
 func TestMetricsNil(t *testing.T) {
 	analysistest.Run(t, lint.MetricsNil, "metricsuser")
 }
+
+func TestProfNil(t *testing.T) {
+	analysistest.Run(t, lint.ProfNil, "profuser")
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/imcstudy/imcstudy/internal/lint/analysis"
+)
+
+// ProfNil enforces the internal/prof acquisition contract, the profiler
+// twin of metricsnil: a *prof.Profiler must come from prof.New (nil is
+// the disabled profiler the engine hot path checks against) and a
+// *prof.Profile from a run (Result.Profile) or prof.Decode, which
+// validates the schema. Constructing either directly — composite
+// literal, new, or a value-typed variable/field — yields a profiler
+// whose interning tables are nil maps (first event panics) or a profile
+// that skipped schema validation, and a value type can never be the nil
+// "profiling off" sentinel sim.Engine caches against.
+var ProfNil = &analysis.Analyzer{
+	Name: "profnil",
+	Doc:  "requires prof.Profiler/prof.Profile values to come from the nil-guarded prof accessors, not direct construction",
+	Run:  runProfNil,
+}
+
+// profGuardedNames are the prof types that must only be minted by the
+// package's own accessors (New, Decode, Snapshot).
+var profGuardedNames = map[string]bool{
+	"Profiler": true, "Profile": true,
+}
+
+func runProfNil(pass *analysis.Pass) error {
+	if isProfPackage(pass.Pkg.Path()) {
+		return nil // New/Decode/Snapshot themselves construct these
+	}
+	w := collectWaivers(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if t := profGuardedType(pass.TypesInfo.TypeOf(n)); t != "" && !waived(pass, w, n.Pos()) {
+					pass.Reportf(n.Pos(), "prof.%s constructed directly; obtain it from %s or waive with //imclint:deterministic -- reason", t, profAccessorFor(t))
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "new" && len(n.Args) == 1 {
+						if t := profGuardedType(pass.TypesInfo.TypeOf(n.Args[0])); t != "" && !waived(pass, w, n.Pos()) {
+							pass.Reportf(n.Pos(), "new(prof.%s) bypasses the prof accessors; use %s or waive with //imclint:deterministic -- reason", t, profAccessorFor(t))
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				// var p prof.Profiler (value, not pointer): methods work but
+				// the value can never be the nil "profiling off" sentinel.
+				if n.Type != nil {
+					if t := profGuardedType(pass.TypesInfo.TypeOf(n.Type)); t != "" && !waived(pass, w, n.Pos()) {
+						pass.Reportf(n.Pos(), "value-typed prof.%s variable; declare *prof.%s and fill it from %s or waive with //imclint:deterministic -- reason", t, t, profAccessorFor(t))
+					}
+				}
+			case *ast.StructType:
+				for _, fld := range n.Fields.List {
+					if t := profGuardedType(pass.TypesInfo.TypeOf(fld.Type)); t != "" && !waived(pass, w, fld.Pos()) {
+						pass.Reportf(fld.Pos(), "value-typed prof.%s field; store *prof.%s obtained from %s or waive with //imclint:deterministic -- reason", t, t, profAccessorFor(t))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// profGuardedType returns the type name when t is a bare (non pointer)
+// guarded prof type, else "".
+func profGuardedType(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || !isProfPackage(obj.Pkg().Path()) {
+		return ""
+	}
+	if profGuardedNames[obj.Name()] {
+		return obj.Name()
+	}
+	return ""
+}
+
+func isProfPackage(path string) bool {
+	return path == "github.com/imcstudy/imcstudy/internal/prof" ||
+		strings.HasSuffix(path, "/internal/prof") || path == "prof"
+}
+
+func profAccessorFor(t string) string {
+	if t == "Profiler" {
+		return "prof.New"
+	}
+	return "prof.Decode or a profiled run's Result.Profile"
+}

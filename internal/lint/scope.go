@@ -19,7 +19,7 @@ var modelledPkgs = map[string]bool{
 	"decaf": true, "dimes": true, "ffs": true, "flexpath": true,
 	"gpu": true, "hpc": true, "lammps": true, "laplace": true,
 	"lustre": true, "memprof": true, "metrics": true, "mpi": true,
-	"mpiio": true, "ndarray": true, "rdma": true, "sfc": true,
+	"mpiio": true, "ndarray": true, "prof": true, "rdma": true, "sfc": true,
 	"sim": true, "staging": true, "synthetic": true, "trace": true,
 	"transport": true, "workflow": true,
 }

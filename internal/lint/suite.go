@@ -7,7 +7,7 @@ import (
 
 // Analyzers returns the imclint suite in its canonical order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{EventOrder, MapRange, MetricsNil, WallTime}
+	return []*analysis.Analyzer{EventOrder, MapRange, MetricsNil, ProfNil, WallTime}
 }
 
 // Run applies every analyzer to every package and returns the combined

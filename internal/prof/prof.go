@@ -1,0 +1,447 @@
+// Package prof is the testbed's second observability layer: where
+// internal/metrics instruments the *modelled* system on the virtual
+// clock, prof instruments the *simulator itself* on the wall clock. A
+// Profiler hooks into sim.Engine's event loop and attributes wall-clock
+// time, event counts, virtual-clock advancement and allocations to
+// (component kind, event site) pairs, and samples scheduler queue depth
+// and schedItem pool hit-rate as series.
+//
+// Two properties shape the design, mirroring internal/metrics:
+//
+//   - Nil-disabled. A nil *Profiler is a valid disabled profiler; the
+//     engine's hot path pays one nil check when profiling is off, and
+//     the pooled schedItem path is untouched.
+//
+//   - Deterministic/wall-time split. The emitted Profile separates
+//     fields that are pure functions of the event sequence (event
+//     counts, virtual times, queue depths — digest-coverable) from
+//     wall-clock and allocator fields (excluded from all digests).
+//     prof is the one modelled-scope package allowed to read the wall
+//     clock; every read carries an imclint waiver naming that fact.
+//
+// The package imports nothing from the rest of the testbed (virtual
+// time is a plain float64), so internal/sim can depend on it without a
+// cycle.
+package prof
+
+import (
+	"runtime"
+	rtmetrics "runtime/metrics"
+	"sort"
+	"strings"
+	"time"
+)
+
+// heapAllocsMetric is the runtime/metrics cumulative allocation
+// counter used for per-site allocation attribution.
+const heapAllocsMetric = "/gc/heap/allocs:bytes"
+
+// unknownSite is the interned id of the fallback site name, used when a
+// scheduling stack resolves entirely inside the engine.
+const unknownSite = 0
+
+// Options tunes a Profiler; the zero value uses the defaults.
+type Options struct {
+	// SampleEvery is the executed-event interval between queue-depth /
+	// wall-progress samples (default 64 — small runs still get a
+	// series; MaxSamples thinning keeps long runs bounded).
+	SampleEvery int
+	// MaxSamples bounds each sample series: when a series reaches twice
+	// this length it is thinned 2:1 and the interval doubles, so
+	// thinning is deterministic and long runs stay bounded
+	// (default 1024).
+	MaxSamples int
+	// Label tags the emitted profile (e.g. "DataSpaces/native 10k").
+	Label string
+}
+
+// siteKey identifies one attribution bucket.
+type siteKey struct {
+	kind string
+	site int32
+}
+
+// siteStats accumulates one bucket. events/virtualS are deterministic;
+// wallNs/allocBytes are not.
+type siteStats struct {
+	events     int64
+	virtualS   float64
+	wallNs     int64
+	allocBytes int64
+}
+
+// Profiler attributes event-loop costs. Obtain one from New; a nil
+// *Profiler is disabled and every method on it is a no-op.
+type Profiler struct {
+	sampleEvery int64
+	maxSamples  int
+	label       string
+
+	events     int64
+	callbacks  int64
+	poolHits   int64
+	poolMisses int64
+	maxDepth   int
+	lastVirt   float64
+
+	sites      map[siteKey]*siteStats
+	siteNames  []string
+	siteIDs    map[string]int32
+	siteByPC   map[uintptr]pcClass
+	kindByProc map[string]string
+
+	startWall  time.Time
+	lastEnd    time.Time
+	overheadNs int64
+	allocLast  uint64
+	allocOK    bool
+	rtSamples  []rtmetrics.Sample
+
+	depthSamples []DepthSample
+	wallSamples  []WallSample
+}
+
+// New returns an enabled profiler. Keep the result nil to leave
+// profiling off — the engine hot path then pays only nil checks.
+func New(opts Options) *Profiler {
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 64
+	}
+	if opts.MaxSamples <= 0 {
+		opts.MaxSamples = 1024
+	}
+	p := &Profiler{
+		sampleEvery: int64(opts.SampleEvery),
+		maxSamples:  opts.MaxSamples,
+		label:       opts.Label,
+		sites:       make(map[siteKey]*siteStats),
+		siteNames:   []string{"(engine)"},
+		siteIDs:     map[string]int32{"(engine)": unknownSite},
+		siteByPC:    make(map[uintptr]pcClass),
+		kindByProc:  make(map[string]string),
+		rtSamples:   []rtmetrics.Sample{{Name: heapAllocsMetric}},
+	}
+	rtmetrics.Read(p.rtSamples)
+	p.allocOK = p.rtSamples[0].Value.Kind() == rtmetrics.KindUint64
+	return p
+}
+
+// EventToken carries Begin-to-End state for one event execution. The
+// zero token (from a nil profiler) makes EndEvent a no-op.
+type EventToken struct {
+	st    *siteStats
+	start time.Time
+}
+
+// ScheduleSite captures and interns the call site scheduling the
+// current event: the innermost stack frame outside the engine package.
+// Events the engine's internal models schedule from inside the run loop
+// (e.g. network rate recomputation) never reach a caller frame — they
+// attribute to the innermost sim model frame (net.go, resource.go)
+// instead, so the run loop's own caller is never blamed for them.
+// Called by sim.Engine.schedule only when the profiler is attached.
+func (p *Profiler) ScheduleSite() int32 {
+	if p == nil {
+		return unknownSite
+	}
+	var pcs [16]uintptr
+	// Skip runtime.Callers, ScheduleSite and schedule itself; the
+	// engine-frame filter below absorbs any inlining-driven variation.
+	n := runtime.Callers(3, pcs[:])
+	fallback := int32(-1)
+	for i := 0; i < n; i++ {
+		pc := pcs[i]
+		c, ok := p.siteByPC[pc]
+		if !ok {
+			c = p.resolvePC(pc)
+			p.siteByPC[pc] = c
+		}
+		switch c.class {
+		case pcSite:
+			return c.id
+		case pcModel:
+			if fallback < 0 {
+				fallback = c.id
+			}
+		case pcLoop:
+			if fallback < 0 {
+				fallback = c.id // may still be -1
+			}
+			if fallback >= 0 {
+				return fallback
+			}
+			return unknownSite
+		}
+	}
+	if fallback >= 0 {
+		return fallback
+	}
+	return unknownSite
+}
+
+// PC classifications, cached per program counter.
+const (
+	// pcSkip: every inline frame is engine core (sim.go/event.go); keep
+	// walking outward.
+	pcSkip = iota
+	// pcSite: the pc's innermost non-sim frame; id is its site.
+	pcSite
+	// pcModel: inside the sim package but in a model file (net.go,
+	// resource.go); id names the model frame, used as a fallback when
+	// the walk dead-ends in the run loop.
+	pcModel
+	// pcLoop: the frame chain reaches (*Engine).Run — the event was
+	// scheduled by the loop itself; id is the pc's own innermost model
+	// frame, or -1.
+	pcLoop
+)
+
+// pcClass is one cached program-counter classification.
+type pcClass struct {
+	id    int32
+	class uint8
+}
+
+// resolvePC expands one program counter's inline frames (innermost
+// first) and classifies it for ScheduleSite's walk.
+func (p *Profiler) resolvePC(pc uintptr) pcClass {
+	c := pcClass{id: -1, class: pcSkip}
+	frames := runtime.CallersFrames([]uintptr{pc})
+	for {
+		fr, more := frames.Next()
+		switch {
+		case fr.Function == "":
+		case !strings.Contains(fr.Function, "/internal/sim."):
+			return pcClass{id: p.internSite(shortFunc(fr.Function)), class: pcSite}
+		case strings.HasSuffix(fr.Function, "sim.(*Engine).Run"):
+			c.class = pcLoop
+		case c.id < 0 && !isEngineCoreFile(fr.File):
+			c.id = p.internSite(shortFunc(fr.Function))
+			if c.class == pcSkip {
+				c.class = pcModel
+			}
+		}
+		if !more {
+			return c
+		}
+	}
+}
+
+// isEngineCoreFile reports whether a sim-package frame belongs to the
+// scheduling core (whose frames are pure plumbing) rather than to a
+// model built on it (network, resources) that is worth naming.
+func isEngineCoreFile(file string) bool {
+	return strings.HasSuffix(file, "/internal/sim/sim.go") ||
+		strings.HasSuffix(file, "/internal/sim/event.go")
+}
+
+// internSite returns the stable id of a site name.
+func (p *Profiler) internSite(name string) int32 {
+	if id, ok := p.siteIDs[name]; ok {
+		return id
+	}
+	id := int32(len(p.siteNames))
+	p.siteNames = append(p.siteNames, name)
+	p.siteIDs[name] = id
+	return id
+}
+
+// shortFunc trims the module prefix off a runtime function name:
+// "github.com/imcstudy/imcstudy/internal/staging.(*Server).put" →
+// "staging.(*Server).put".
+func shortFunc(name string) string {
+	for _, prefix := range []string{
+		"github.com/imcstudy/imcstudy/internal/",
+		"github.com/imcstudy/imcstudy/",
+	} {
+		if rest, ok := strings.CutPrefix(name, prefix); ok {
+			return rest
+		}
+	}
+	return name
+}
+
+// Scheduled records one enqueue: pool hit/miss accounting and the
+// queue-depth peak. depth is the queue length after the push.
+func (p *Profiler) Scheduled(pooled bool, depth int) {
+	if p == nil {
+		return
+	}
+	if pooled {
+		p.poolHits++
+	} else {
+		p.poolMisses++
+	}
+	if depth > p.maxDepth {
+		p.maxDepth = depth
+	}
+}
+
+// BeginEvent opens the attribution window for one event execution.
+// procName is the executing process's name ("" for an engine callback,
+// bucketed under kind "timer"); now is the virtual time the event runs
+// at; depth is the queue length after the pop.
+func (p *Profiler) BeginEvent(site int32, procName string, now float64, depth int) EventToken {
+	if p == nil {
+		return EventToken{}
+	}
+	p.events++
+	dv := now - p.lastVirt
+	if dv < 0 {
+		dv = 0
+	}
+	p.lastVirt = now
+	kind := "timer"
+	if procName != "" {
+		kind = p.kindOf(procName)
+	} else {
+		p.callbacks++
+	}
+	key := siteKey{kind: kind, site: site}
+	st := p.sites[key]
+	if st == nil {
+		st = &siteStats{}
+		p.sites[key] = st
+	}
+	st.events++
+	st.virtualS += dv
+	//imclint:deterministic -- wall clock is the measured quantity here; it feeds only the digest-excluded walltime section
+	t := time.Now()
+	if p.startWall.IsZero() {
+		p.startWall = t
+		p.allocLast = p.readAllocs()
+	} else {
+		p.overheadNs += t.Sub(p.lastEnd).Nanoseconds()
+	}
+	if p.events%p.sampleEvery == 0 {
+		p.sample(now, depth, t)
+	}
+	return EventToken{st: st, start: t}
+}
+
+// EndEvent closes the window opened by BeginEvent, attributing wall
+// time and allocation bytes to the event's (kind, site) bucket.
+func (p *Profiler) EndEvent(tok EventToken) {
+	if p == nil || tok.st == nil {
+		return
+	}
+	//imclint:deterministic -- wall clock is the measured quantity here; it feeds only the digest-excluded walltime section
+	t := time.Now()
+	tok.st.wallNs += t.Sub(tok.start).Nanoseconds()
+	if p.allocOK {
+		alloc := p.readAllocs()
+		// Delta since the previous read; engine-loop allocations between
+		// events are near zero (pooled schedItems), so the skew of folding
+		// them into the next event is negligible.
+		tok.st.allocBytes += int64(alloc - p.allocLast)
+		p.allocLast = alloc
+	}
+	p.lastEnd = t
+}
+
+// readAllocs returns cumulative heap allocation bytes (0 when the
+// runtime does not expose the metric).
+func (p *Profiler) readAllocs() uint64 {
+	if !p.allocOK {
+		return 0
+	}
+	rtmetrics.Read(p.rtSamples)
+	return p.rtSamples[0].Value.Uint64()
+}
+
+// kindOf derives (and caches) the component kind of a process name.
+func (p *Profiler) kindOf(name string) string {
+	if k, ok := p.kindByProc[name]; ok {
+		return k
+	}
+	k := KindOf(name)
+	p.kindByProc[name] = k
+	return k
+}
+
+// KindOf trims one trailing "-<digits>" rank suffix off a process
+// name: "sim-17" → "sim", "dataspaces-server-3" → "dataspaces-server".
+// Names without a rank suffix are their own kind.
+func KindOf(name string) string {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i > 0 && i < len(name) && name[i-1] == '-' {
+		return name[:i-1]
+	}
+	return name
+}
+
+// sample appends one point to the scheduler-health series, thinning
+// 2:1 (and doubling the interval) when the bound is reached so the
+// series stays small and the thinning deterministic.
+func (p *Profiler) sample(now float64, depth int, wall time.Time) {
+	p.depthSamples = append(p.depthSamples, DepthSample{
+		Event: p.events, T: now, Depth: depth,
+		PoolHits: p.poolHits, PoolMisses: p.poolMisses,
+	})
+	p.wallSamples = append(p.wallSamples, WallSample{
+		Event: p.events, WallNs: wall.Sub(p.startWall).Nanoseconds(),
+	})
+	if len(p.depthSamples) >= 2*p.maxSamples {
+		p.depthSamples = thin(p.depthSamples)
+		p.wallSamples = thin(p.wallSamples)
+		p.sampleEvery *= 2
+	}
+}
+
+// thin keeps every second sample — the ones whose event count is a
+// multiple of the doubled interval.
+func thin[S any](s []S) []S {
+	out := s[:0]
+	for i := 1; i < len(s); i += 2 {
+		out = append(out, s[i])
+	}
+	return out
+}
+
+// Snapshot renders the profiler's state as a Profile document. Sites
+// are emitted sorted by (kind, site) so the deterministic section
+// encodes byte-identically across runs of the same configuration.
+func (p *Profiler) Snapshot() *Profile {
+	if p == nil {
+		return nil
+	}
+	out := &Profile{Schema: Schema, Label: p.label}
+	d := &out.Deterministic
+	w := &out.Walltime
+	d.VirtualS = p.lastVirt
+	d.Events = p.events
+	d.Callbacks = p.callbacks
+	d.PoolHits = p.poolHits
+	d.PoolMisses = p.poolMisses
+	d.MaxQueueDepth = p.maxDepth
+	keys := make([]siteKey, 0, len(p.sites))
+	for k := range p.sites {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return p.siteNames[keys[i].site] < p.siteNames[keys[j].site]
+	})
+	for _, k := range keys {
+		st := p.sites[k]
+		name := p.siteNames[k.site]
+		d.Sites = append(d.Sites, SiteCount{
+			Kind: k.kind, Site: name, Events: st.events, VirtualS: st.virtualS,
+		})
+		w.Sites = append(w.Sites, SiteWall{
+			Kind: k.kind, Site: name, WallNs: st.wallNs, AllocBytes: st.allocBytes,
+		})
+	}
+	d.QueueDepth = append([]DepthSample(nil), p.depthSamples...)
+	w.Progress = append([]WallSample(nil), p.wallSamples...)
+	if !p.startWall.IsZero() {
+		w.WallNs = p.lastEnd.Sub(p.startWall).Nanoseconds()
+	}
+	w.OverheadNs = p.overheadNs
+	return out
+}

@@ -1,0 +1,162 @@
+package prof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKindOf(t *testing.T) {
+	cases := []struct{ name, want string }{
+		{"sim-17", "sim"},
+		{"ana-0", "ana"},
+		{"dataspaces-server-3", "dataspaces-server"},
+		{"driver", "driver"},
+		{"x-9", "x"},
+		{"x9", "x9"},
+		{"42", "42"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := KindOf(c.name); got != c.want {
+			t.Errorf("KindOf(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestNilProfilerIsDisabled(t *testing.T) {
+	var p *Profiler
+	if id := p.ScheduleSite(); id != unknownSite {
+		t.Fatalf("nil ScheduleSite = %d", id)
+	}
+	p.Scheduled(true, 3)
+	tok := p.BeginEvent(0, "sim-0", 1.5, 2)
+	p.EndEvent(tok)
+	if snap := p.Snapshot(); snap != nil {
+		t.Fatalf("nil Snapshot = %v, want nil", snap)
+	}
+}
+
+// drive pushes a fixed synthetic event sequence through the profiler.
+func drive(p *Profiler) {
+	site := p.internSite("fake.site")
+	for i := 0; i < 10; i++ {
+		p.Scheduled(i%2 == 0, i+1)
+		name := "sim-0"
+		if i%3 == 0 {
+			name = "ana-1"
+		}
+		tok := p.BeginEvent(site, name, float64(i)*0.5, i)
+		p.EndEvent(tok)
+	}
+	tok := p.BeginEvent(unknownSite, "", 5.0, 0)
+	p.EndEvent(tok)
+}
+
+func TestSnapshotDeterministicSection(t *testing.T) {
+	p := New(Options{SampleEvery: 4, Label: "unit"})
+	drive(p)
+	snap := p.Snapshot()
+	d := snap.Deterministic
+	if d.Events != 11 || d.Callbacks != 1 {
+		t.Fatalf("events=%d callbacks=%d, want 11/1", d.Events, d.Callbacks)
+	}
+	if d.PoolHits != 5 || d.PoolMisses != 5 {
+		t.Fatalf("pool %d/%d, want 5/5", d.PoolHits, d.PoolMisses)
+	}
+	if d.MaxQueueDepth != 10 {
+		t.Fatalf("max depth %d, want 10", d.MaxQueueDepth)
+	}
+	if d.VirtualS != 5.0 {
+		t.Fatalf("virtual %v, want 5", d.VirtualS)
+	}
+	var events int64
+	var virt float64
+	kinds := map[string]bool{}
+	for _, s := range d.Sites {
+		events += s.Events
+		virt += s.VirtualS
+		kinds[s.Kind] = true
+	}
+	if events != d.Events {
+		t.Fatalf("site events sum %d != total %d", events, d.Events)
+	}
+	if virt != d.VirtualS {
+		t.Fatalf("site virtual sum %v != total %v", virt, d.VirtualS)
+	}
+	for _, k := range []string{"sim", "ana", "timer"} {
+		if !kinds[k] {
+			t.Fatalf("kind %q missing from sites %v", k, d.Sites)
+		}
+	}
+	if len(d.QueueDepth) != 2 { // events 4 and 8 of 11
+		t.Fatalf("queue-depth samples %d, want 2", len(d.QueueDepth))
+	}
+	if len(snap.Walltime.Sites) != len(d.Sites) {
+		t.Fatalf("wall sites %d != deterministic sites %d", len(snap.Walltime.Sites), len(d.Sites))
+	}
+
+	// The deterministic section must encode byte-identically for an
+	// identical event sequence, wall-clock jitter notwithstanding.
+	p2 := New(Options{SampleEvery: 4, Label: "unit"})
+	drive(p2)
+	a, err := snap.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p2.Snapshot().DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deterministic sections differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestSampleThinning(t *testing.T) {
+	p := New(Options{SampleEvery: 1, MaxSamples: 4})
+	site := p.internSite("fake.site")
+	for i := 0; i < 64; i++ {
+		p.EndEvent(p.BeginEvent(site, "sim-0", float64(i), 1))
+	}
+	if n := len(p.depthSamples); n >= 2*p.maxSamples {
+		t.Fatalf("thinning failed: %d samples (bound %d)", n, 2*p.maxSamples)
+	}
+	if p.sampleEvery == 1 {
+		t.Fatal("interval never doubled")
+	}
+	// Surviving samples sit on multiples of the final interval.
+	for _, s := range p.depthSamples {
+		if s.Event%p.sampleEvery != 0 {
+			t.Fatalf("sample at event %d not on interval %d", s.Event, p.sampleEvery)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := New(Options{Label: "roundtrip"})
+	drive(p)
+	buf, err := p.Snapshot().EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "roundtrip" || got.Deterministic.Events != 11 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, err := Decode(strings.NewReader(`{"schema":"bogus/9"}`)); err == nil {
+		t.Fatal("Decode accepted an unknown schema")
+	}
+}
+
+func TestShortFunc(t *testing.T) {
+	if got := shortFunc("github.com/imcstudy/imcstudy/internal/staging.(*Server).put"); got != "staging.(*Server).put" {
+		t.Fatalf("shortFunc = %q", got)
+	}
+	if got := shortFunc("main.main"); got != "main.main" {
+		t.Fatalf("shortFunc = %q", got)
+	}
+}

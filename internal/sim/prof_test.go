@@ -1,0 +1,115 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/prof"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// pingPong builds a small deterministic workload: n procs alternating
+// sleeps plus a few engine callbacks.
+func pingPong(e *sim.Engine, n, steps int) {
+	for i := 0; i < n; i++ {
+		e.Spawn("worker-0", func(p *sim.Proc) error {
+			for s := 0; s < steps; s++ {
+				if err := p.Sleep(0.5); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	e.At(1.0, func() {})
+}
+
+func TestEngineProfilerAttribution(t *testing.T) {
+	run := func() *prof.Profile {
+		e := sim.NewEngine()
+		p := prof.New(prof.Options{SampleEvery: 8})
+		e.SetProfiler(p)
+		pingPong(e, 4, 10)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return p.Snapshot()
+	}
+	snap := run()
+	d := snap.Deterministic
+	// 4 procs × (1 spawn wake + 10 sleeps) + 1 callback.
+	if want := int64(4*11 + 1); d.Events != want {
+		t.Fatalf("events = %d, want %d", d.Events, want)
+	}
+	if d.Callbacks != 1 {
+		t.Fatalf("callbacks = %d, want 1", d.Callbacks)
+	}
+	if d.VirtualS != 5.0 {
+		t.Fatalf("virtual = %v, want 5", d.VirtualS)
+	}
+	var sawSleep bool
+	for _, s := range d.Sites {
+		if s.Kind == "worker" && s.Site != "(engine)" {
+			sawSleep = true
+		}
+	}
+	if !sawSleep {
+		t.Fatalf("no worker event site attributed outside the engine: %+v", d.Sites)
+	}
+	if d.PoolHits == 0 {
+		t.Fatal("pool recorded no hits over 45 events")
+	}
+	if snap.Walltime.WallNs <= 0 {
+		t.Fatal("no wall time recorded")
+	}
+
+	// Byte-identical deterministic section across repeated seeded runs.
+	a, err := snap.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run().DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deterministic profile drifted between identical runs:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestEngineRunsIdenticallyWithProfiler(t *testing.T) {
+	run := func(profiled bool) sim.Time {
+		e := sim.NewEngine()
+		if profiled {
+			e.SetProfiler(prof.New(prof.Options{}))
+		}
+		pingPong(e, 8, 20)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	if off, on := run(false), run(true); off != on {
+		t.Fatalf("profiler perturbed the virtual clock: off %v, on %v", off, on)
+	}
+}
+
+// benchmarkRun measures the schedule/Run hot path: the profiler-off
+// case is the guard that self-profiling support adds no measurable
+// cost to ordinary runs (the pooled schedItem path is untouched when
+// the profiler is nil).
+func benchmarkRun(b *testing.B, profiled bool) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		if profiled {
+			e.SetProfiler(prof.New(prof.Options{}))
+		}
+		pingPong(e, 16, 200)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunProfilerOff(b *testing.B) { benchmarkRun(b, false) }
+func BenchmarkRunProfilerOn(b *testing.B)  { benchmarkRun(b, true) }

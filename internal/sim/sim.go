@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/imcstudy/imcstudy/internal/prof"
 )
 
 // Time is a virtual-clock timestamp in seconds since the start of the run.
@@ -60,6 +62,11 @@ type Engine struct {
 	// so a stale cancel cannot touch a reused item.
 	pool []*schedItem
 
+	// prof, when non-nil, attributes wall time, event counts and
+	// allocations per (component kind, event site); nil (the default)
+	// keeps the hot path at one pointer check per event.
+	prof *prof.Profiler
+
 	maxTime Time
 	stopped bool
 }
@@ -82,6 +89,16 @@ func (e *Engine) SetFailFast(on bool) { e.failFast = on }
 // Now returns the current virtual time. It is safe to call from process
 // functions and from engine callbacks.
 func (e *Engine) Now() Time { return e.now }
+
+// SetProfiler attaches a simulator self-profiler: every scheduled event
+// is tagged with its scheduling site and every execution is attributed
+// wall time and allocations (see internal/prof). A nil p (the default)
+// disables profiling; the event loop then pays one nil check per event
+// and the pooled schedItem path is unchanged.
+func (e *Engine) SetProfiler(p *prof.Profiler) { e.prof = p }
+
+// Profiler returns the attached profiler (nil when profiling is off).
+func (e *Engine) Profiler() *prof.Profiler { return e.prof }
 
 // SetDeadline makes Run stop (with ErrDeadline wrapped into the run errors)
 // once the virtual clock passes t. Zero or negative means no deadline.
@@ -142,13 +159,19 @@ func (e *Engine) schedule(t Time, p *Proc, fn func()) *schedItem {
 	}
 	e.seq++
 	var it *schedItem
-	if n := len(e.pool); n > 0 {
+	pooled := len(e.pool) > 0
+	if pooled {
+		n := len(e.pool)
 		it = e.pool[n-1]
 		e.pool[n-1] = nil
 		e.pool = e.pool[:n-1]
-		it.t, it.seq, it.proc, it.fn, it.canceled = t, e.seq, p, fn, false
+		it.t, it.seq, it.proc, it.fn, it.canceled, it.site = t, e.seq, p, fn, false, 0
 	} else {
 		it = &schedItem{t: t, seq: e.seq, proc: p, fn: fn}
+	}
+	if e.prof != nil {
+		it.site = e.prof.ScheduleSite()
+		e.prof.Scheduled(pooled, e.queue.Len()+1)
 	}
 	heap.Push(&e.queue, it)
 	return it
@@ -262,15 +285,29 @@ func (e *Engine) Run() error {
 		e.now = it.t
 		if it.proc != nil {
 			p := it.proc
+			site := it.site
 			e.recycle(it)
 			if p.done {
 				continue
 			}
-			e.resume(p, wakeMsg{})
+			if e.prof == nil {
+				e.resume(p, wakeMsg{})
+			} else {
+				tok := e.prof.BeginEvent(site, p.name, e.now, e.queue.Len())
+				e.resume(p, wakeMsg{})
+				e.prof.EndEvent(tok)
+			}
 		} else {
 			fn := it.fn
+			site := it.site
 			e.recycle(it)
-			fn()
+			if e.prof == nil {
+				fn()
+			} else {
+				tok := e.prof.BeginEvent(site, "", e.now, e.queue.Len())
+				fn()
+				e.prof.EndEvent(tok)
+			}
 		}
 	}
 	if e.live > 0 && !deadlineHit {
@@ -319,6 +356,9 @@ type schedItem struct {
 	fn       func()
 	canceled bool
 	index    int
+	// site is the profiler's interned scheduling-site id; 0 ("engine")
+	// whenever no profiler is attached.
+	site int32
 }
 
 type eventHeap []*schedItem

@@ -1,0 +1,107 @@
+package workflow
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+)
+
+// profConfig is a small but representative profiled run: DataSpaces
+// native staging exercises servers, transport and the writer throttle.
+func profConfig(profiled bool) Config {
+	return Config{
+		Machine:  hpc.Titan(),
+		Method:   MethodDataSpacesNative,
+		Workload: WorkloadSynthetic,
+		SimProcs: 32,
+		AnaProcs: 16,
+		Steps:    2,
+		Metrics:  true,
+		Profile:  profiled,
+	}
+}
+
+// TestProfileDeterministicGolden locks the profile's contract: the
+// digest-covered section is byte-identical across repeated seeded runs,
+// while wall time (not asserted identical) is still recorded.
+func TestProfileDeterministicGolden(t *testing.T) {
+	run := func() Result {
+		res, err := Run(profConfig(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			t.Fatalf("run failed: %v", res.FailErr)
+		}
+		if res.Profile == nil {
+			t.Fatal("Config.Profile set but Result.Profile is nil")
+		}
+		return res
+	}
+	a, b := run(), run()
+	da, err := a.Profile.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.Profile.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatalf("deterministic profile section drifted between identical runs:\n%s\n---\n%s", da, db)
+	}
+	if a.Profile.Deterministic.Events == 0 {
+		t.Fatal("profile recorded no events")
+	}
+	if a.Profile.Walltime.WallNs <= 0 {
+		t.Fatal("profile recorded no wall time")
+	}
+	if len(a.Profile.Deterministic.Sites) < 3 {
+		t.Fatalf("expected several attribution sites, got %+v", a.Profile.Deterministic.Sites)
+	}
+}
+
+// TestProfilerLeavesMetricsUnchanged is the observer-effect gate:
+// enabling the profiler must not move a single byte of the modelled
+// telemetry (the metrics digests BENCH goldens gate on).
+func TestProfilerLeavesMetricsUnchanged(t *testing.T) {
+	encode := func(profiled bool) []byte {
+		res, err := Run(profConfig(profiled))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			t.Fatalf("run failed: %v", res.FailErr)
+		}
+		js, err := res.Metrics.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	off, on := encode(false), encode(true)
+	if !bytes.Equal(off, on) {
+		t.Fatal("enabling the profiler changed the metrics encoding; the profiler must observe, never perturb")
+	}
+}
+
+// TestProfileCounterTracksInTrace checks the Perfetto export grows the
+// simulator-health counter tracks when a profiled run is traced.
+func TestProfileCounterTracksInTrace(t *testing.T) {
+	cfg := profConfig(true)
+	cfg.Trace = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := res.TraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, track := range []string{"sim/queue_depth", "sim/event_density"} {
+		if !bytes.Contains(js, []byte(track)) {
+			t.Errorf("trace JSON missing counter track %q", track)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/imcstudy/imcstudy/internal/hpc"
 	"github.com/imcstudy/imcstudy/internal/memprof"
 	"github.com/imcstudy/imcstudy/internal/metrics"
+	"github.com/imcstudy/imcstudy/internal/prof"
 	"github.com/imcstudy/imcstudy/internal/sim"
 	"github.com/imcstudy/imcstudy/internal/staging"
 	"github.com/imcstudy/imcstudy/internal/synthetic"
@@ -105,6 +106,19 @@ type Config struct {
 	// activity totals) into Result.Metrics. Off by default: a nil registry
 	// makes every instrumentation site a no-op.
 	Metrics bool
+
+	// Profile attaches the simulator self-profiler (internal/prof) to
+	// the engine: wall-clock time, event counts and allocations are
+	// attributed per (component kind, event site) and the run journal
+	// lands in Result.Profile. Profiled runs pay measurement overhead
+	// in wall time but are virtually (and metrically) bit-identical to
+	// unprofiled ones: the profiler observes the event loop, it never
+	// schedules into it.
+	Profile bool
+
+	// ProfileLabel tags Result.Profile (defaults to
+	// "method machine sim+ana" when empty).
+	ProfileLabel string
 
 	// FailStagingNodeAt injects a machine failure (Section IV-C): at the
 	// given virtual time the method's first staging-role node crashes —
@@ -222,6 +236,12 @@ type Result struct {
 	// Its JSON/CSV encodings are byte-identical across runs of the same
 	// configuration (the engine is deterministic and the encoders sort).
 	Metrics *metrics.Registry
+	// Profile holds the simulator self-profile when Config.Profile was
+	// set: wall-time/event/allocation attribution per (component kind,
+	// event site) plus scheduler-health series. Its Deterministic
+	// section encodes byte-identically across runs; its Walltime
+	// section is informational and excluded from all digests.
+	Profile *prof.Profile
 
 	// Resilience outcomes (zero unless Replication/CheckpointEvery on).
 	//
@@ -248,6 +268,9 @@ type Result struct {
 // When metrics were also recorded, every registry time-series becomes a
 // counter track, so NIC utilization, staging-server footprints and queue
 // depths render alongside the activity spans and put->get flow arrows.
+// When the run was profiled, two simulator-health tracks are added:
+// sim/queue_depth (scheduler event-queue depth) and sim/event_density
+// (simulator events executed per virtual second).
 func (r *Result) TraceJSON() ([]byte, error) {
 	if r.Trace == nil {
 		return nil, errors.New("workflow: run had Config.Trace disabled")
@@ -262,7 +285,31 @@ func (r *Result) TraceJSON() ([]byte, error) {
 			opts.Counters = append(opts.Counters, track)
 		}
 	}
+	opts.Counters = append(opts.Counters, profileCounterTracks(r.Profile)...)
 	return r.Trace.ChromeTraceJSONWith(opts)
+}
+
+// profileCounterTracks converts the profiler's queue-depth series into
+// Perfetto counter tracks: raw depth, plus event density (events per
+// virtual second between consecutive samples).
+func profileCounterTracks(p *prof.Profile) []trace.CounterTrack {
+	if p == nil || len(p.Deterministic.QueueDepth) == 0 {
+		return nil
+	}
+	depth := trace.CounterTrack{Name: "sim/queue_depth"}
+	density := trace.CounterTrack{Name: "sim/event_density"}
+	var prevT float64
+	var prevEvents int64
+	for _, s := range p.Deterministic.QueueDepth {
+		depth.Samples = append(depth.Samples, trace.CounterSample{T: s.T, V: float64(s.Depth)})
+		if dt := s.T - prevT; dt > 0 {
+			density.Samples = append(density.Samples, trace.CounterSample{
+				T: s.T, V: float64(s.Event-prevEvents) / dt,
+			})
+		}
+		prevT, prevEvents = s.T, s.Event
+	}
+	return []trace.CounterTrack{depth, density}
 }
 
 // Run executes one workflow configuration. Setup mistakes return an
@@ -293,6 +340,15 @@ func Run(cfg Config) (Result, error) {
 		m.EnableMetrics(res.Metrics)
 		m.WatchNode("sim-0", lay.simNodes[0])
 		m.WatchNode("ana-0", lay.anaNodes[0])
+	}
+	var profiler *prof.Profiler
+	if cfg.Profile {
+		label := cfg.ProfileLabel
+		if label == "" {
+			label = fmt.Sprintf("%s %s %d+%d", cfg.Method, cfg.Machine.Name, cfg.SimProcs, cfg.AnaProcs)
+		}
+		profiler = prof.New(prof.Options{Label: label})
+		e.SetProfiler(profiler)
 	}
 	reg := res.Metrics
 	// span records one activity interval in both outputs; the recorder and
@@ -542,6 +598,7 @@ func Run(cfg Config) (Result, error) {
 		res.RolledBackSteps = o.RolledBackSteps
 	}
 	finalizeMetrics(&res, m)
+	res.Profile = profiler.Snapshot()
 	res.Verified = verified && cfg.Method.Couples()
 	return res, nil
 }

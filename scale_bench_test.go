@@ -1,9 +1,12 @@
 // The scale suite behind `make bench`: the 1k/4k/10k-rank matrix across
 // the three staging couplings, run with fixed configurations (the
-// simulator is seed-deterministic), emitting BENCH_PR4.json and failing
+// simulator is seed-deterministic), emitting BENCH_PR7.json and failing
 // if the modelled virtual-time results drift from the committed golden.
 // Wall-clock may improve freely; virtual times and metrics digests must
-// not change.
+// not change. Each cell runs with the self-profiler attached (it
+// observes, never schedules — TestProfilerLeavesMetricsUnchanged gates
+// that) and records event counts, pool hit rate and events/wall-second
+// as annotations; like wall_s they are informational, never gated.
 //
 // Gated behind IMC_SCALE_BENCH so `go test ./...` stays fast:
 //
@@ -22,7 +25,7 @@ import (
 	"github.com/imcstudy/imcstudy"
 )
 
-const benchGolden = "BENCH_PR4.json"
+const benchGolden = "BENCH_PR7.json"
 
 type benchCell struct {
 	Method string `json:"method"`
@@ -34,6 +37,12 @@ type benchCell struct {
 	MetricsSHA256 string `json:"metrics_sha256"`
 	// WallS is the wall-clock cost of simulating the cell — informational.
 	WallS float64 `json:"wall_s"`
+	// The self-profiler annotations below are informational, like WallS:
+	// committed so simulator-performance history reads off the goldens,
+	// never gated.
+	Events         int64   `json:"events"`
+	PoolHitRate    float64 `json:"pool_hit_rate"`
+	EventsPerWallS float64 `json:"events_per_wall_s"`
 }
 
 type benchFile struct {
@@ -71,6 +80,7 @@ func TestScaleBench(t *testing.T) {
 				AnaProcs: sc.ana,
 				Steps:    got.Steps,
 				Metrics:  true,
+				Profile:  true,
 			}
 			start := time.Now()
 			res, err := imcstudy.Run(cfg)
@@ -92,9 +102,15 @@ func TestScaleBench(t *testing.T) {
 				MetricsSHA256: fmt.Sprintf("%x", sum),
 				WallS:         wall,
 			}
+			if res.Profile != nil {
+				cell.Events = res.Profile.Deterministic.Events
+				cell.PoolHitRate = res.Profile.PoolHitRate()
+				cell.EventsPerWallS = res.Profile.EventsPerWallSecond()
+			}
 			got.Results = append(got.Results, cell)
-			t.Logf("%-28s (%5d,%5d)  virtual %9.4fs  wall %6.2fs",
-				cell.Method, cell.Sim, cell.Ana, cell.VirtualS, cell.WallS)
+			t.Logf("%-28s (%5d,%5d)  virtual %9.4fs  wall %6.2fs  %9d events  %.0f ev/wall-s",
+				cell.Method, cell.Sim, cell.Ana, cell.VirtualS, cell.WallS,
+				cell.Events, cell.EventsPerWallS)
 		}
 	}
 
