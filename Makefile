@@ -1,14 +1,15 @@
 GO ?= go
 FUZZTIME ?= 5s
 PROF_OUT ?= imcprof-smoke.json
+CHAOS_OUT ?= chaos-smoke.json
 
-.PHONY: check build vet lint test race bench microbench fuzz prof-smoke tidy
+.PHONY: check build vet lint test race bench microbench fuzz prof-smoke chaos-smoke tidy
 
 # check is the CI gate: compile everything, vet, lint the determinism
 # invariants, run the full test suite under the race detector, give the
-# fuzzers a short shake, and prove the self-profiling pipeline end to
-# end.
-check: build vet lint race fuzz prof-smoke
+# fuzzers a short shake, prove the self-profiling pipeline end to end,
+# and run the tiny chaos campaign (report written, re-read and parsed).
+check: build vet lint race fuzz prof-smoke chaos-smoke
 
 # lint runs the imclint determinism suite (eventorder, maprange,
 # metricsnil, profnil, walltime — see README "Static analysis") over the whole
@@ -36,6 +37,15 @@ race:
 prof-smoke:
 	$(GO) run ./cmd/imcprof capture -sim 64 -ana 32 -steps 2 -label "ci smoke" -o $(PROF_OUT)
 	$(GO) run ./cmd/imcprof report -top 10 $(PROF_OUT)
+
+# chaos-smoke is the chaos-campaign end-to-end check: run the tiny CI
+# sweep (2 methods x 2 faults x 2 intensities x 2 mitigations x 2
+# trials + a 3-step survival-boundary bisection), write $(CHAOS_OUT),
+# then re-read and parse it for the printed summary. The campaign's
+# digest is golden-gated in internal/chaos; CI uploads $(CHAOS_OUT) as
+# a workflow artifact.
+chaos-smoke:
+	$(GO) run ./cmd/imcbench chaos -smoke -out $(CHAOS_OUT)
 
 # bench runs the 1k/4k/10k-rank scale suite with fixed configurations,
 # rewrites BENCH_PR7.json (wall-clock numbers and self-profiler

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/imcstudy/imcstudy"
+)
+
+// runChaos drives `imcbench chaos`: run a chaos campaign, write the
+// JSON report, then read the file back and summarise it — so the
+// printed summary doubles as a parse check of the artifact.
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("imcbench chaos", flag.ContinueOnError)
+	smoke := fs.Bool("smoke", false, "run the tiny CI smoke campaign")
+	out := fs.String("out", "chaos-report.json", "write the JSON campaign report to `file`")
+	csvOut := fs.String("csv", "", "also write the per-cell CSV to `file`")
+	seed := fs.Int64("seed", 42, "campaign seed (drives every trial's fault and jitter seeds)")
+	trials := fs.Int("trials", 0, "seed-varied trials per cell (0 = campaign default)")
+	workers := fs.Int("workers", 0, "worker-pool width; wall time only (0 = default)")
+	machine := fs.String("machine", "titan", "machine model (titan or cori)")
+	bisect := fs.Bool("bisect", true, "also bisect the survival boundary per (method, fault, mitigation)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c := imcstudy.SmokeChaosCampaign()
+	if !*smoke {
+		// The full campaign: every method, fault kind and mitigation at
+		// a ladder of intensities and two onsets.
+		c.Methods = []imcstudy.Method{
+			imcstudy.MethodFlexpath, imcstudy.MethodDataSpacesADIOS,
+			imcstudy.MethodDataSpacesNative, imcstudy.MethodDIMESADIOS,
+			imcstudy.MethodDIMESNative, imcstudy.MethodDecaf,
+		}
+		c.Faults = imcstudy.ChaosFaults()
+		c.Intensities = []float64{0.1, 0.25, 0.5, 0.75, 1}
+		c.Timings = []float64{0.25, 0.75}
+		c.Mitigations = []imcstudy.ChaosMitigation{
+			imcstudy.ChaosMitigationNone, imcstudy.ChaosMitigationRetry,
+			imcstudy.ChaosMitigationRepl, imcstudy.ChaosMitigationRetryRepl,
+			imcstudy.ChaosMitigationCheckpoint,
+		}
+	}
+	m, ok := imcstudy.MachineByName(*machine)
+	if !ok {
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+	c.Machine = m
+	c.Seed = *seed
+	if *trials > 0 {
+		c.Trials = *trials
+	}
+	if *workers > 0 {
+		c.Workers = *workers
+	}
+	c.Bisect = *bisect
+
+	start := time.Now()
+	rep, err := c.Run()
+	if err != nil {
+		return err
+	}
+	js, err := rep.EncodeJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		return err
+	}
+	if *csvOut != "" {
+		if err := os.WriteFile(*csvOut, rep.EncodeCSV(), 0o644); err != nil {
+			return err
+		}
+	}
+	if err := summarizeChaos(*out); err != nil {
+		return fmt.Errorf("report written but unparseable: %w", err)
+	}
+	digest, err := rep.Digest()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("digest %s\n", digest)
+	fmt.Printf("-- chaos campaign generated in %.1fs --\n", time.Since(start).Seconds())
+	return nil
+}
+
+// summarizeChaos re-reads the written report and prints the survival
+// summary and boundaries from the parsed artifact.
+func summarizeChaos(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep imcstudy.ChaosReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return err
+	}
+	d := rep.Deterministic
+	if len(d.Cells) == 0 {
+		return fmt.Errorf("report %s has no cells", path)
+	}
+	fmt.Printf("chaos campaign: machine=%s seed=%d trials/cell=%d cells=%d\n",
+		d.Machine, d.Seed, d.Trials, len(d.Cells))
+	for _, b := range d.Baselines {
+		fmt.Printf("  baseline %-22s %.3fs\n", b.Method, b.EndToEnd)
+	}
+	fmt.Printf("%-22s %-8s %-9s %-6s %-18s %8s %10s %s\n",
+		"method", "fault", "intensity", "onset", "mitigation", "survival", "throughput", "failures")
+	for _, c := range d.Cells {
+		fmt.Printf("%-22s %-8s %-9g %-6g %-18s %7.0f%% %10.2f %s\n",
+			c.Method, c.Fault, c.Intensity, c.Timing, c.Mitigation,
+			100*c.SurvivalRate, c.Throughput, joinClasses(c.FailureClasses))
+	}
+	if len(d.Boundaries) > 0 {
+		fmt.Printf("survival boundaries (intensity where every trial still survives / first death):\n")
+		for _, b := range d.Boundaries {
+			fmt.Printf("  %-22s %-8s %-18s %.3f / %.3f\n",
+				b.Method, b.Fault, b.Mitigation, b.Survives, b.Dies)
+		}
+	}
+	return nil
+}
+
+func joinClasses(classes []string) string {
+	if len(classes) == 0 {
+		return "-"
+	}
+	s := classes[0]
+	for _, c := range classes[1:] {
+		s += ";" + c
+	}
+	return s
+}

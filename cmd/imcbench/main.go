@@ -5,6 +5,7 @@
 //
 //	imcbench [-quick] [-steps N] [-chart] <experiment> [<experiment>...]
 //	imcbench all
+//	imcbench chaos [-smoke] [-out report.json] [-csv cells.csv]
 //
 // Experiments: table1 table2 table3 table4 table5 fig2a fig2b fig3 fig4
 // fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 findings mitigations
@@ -38,6 +39,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "chaos" {
+		return runChaos(args[1:])
+	}
 	fs := flag.NewFlagSet("imcbench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "trim sweeps to a few representative points")
 	steps := fs.Int("steps", 3, "coupling steps per run")

@@ -33,10 +33,13 @@ import (
 	"io"
 	"strings"
 
+	"github.com/imcstudy/imcstudy/internal/chaos"
 	"github.com/imcstudy/imcstudy/internal/core"
 	"github.com/imcstudy/imcstudy/internal/hpc"
 	"github.com/imcstudy/imcstudy/internal/metrics"
 	"github.com/imcstudy/imcstudy/internal/prof"
+	"github.com/imcstudy/imcstudy/internal/retry"
+	"github.com/imcstudy/imcstudy/internal/sim"
 	"github.com/imcstudy/imcstudy/internal/synthetic"
 	"github.com/imcstudy/imcstudy/internal/transport"
 	"github.com/imcstudy/imcstudy/internal/workflow"
@@ -78,9 +81,57 @@ type (
 	LinkDegradation = workflow.LinkDegradation
 	// TimeoutWindow charges extra latency on a node's messages for a window.
 	TimeoutWindow = workflow.TimeoutWindow
+	// TransientWindow opens a probabilistic transient-fault window
+	// (message loss, server-busy rejections or transient op failures,
+	// depending on which FaultPlan list it sits in) on a node.
+	TransientWindow = workflow.TransientWindow
 	// FaultRole names the node pool a fault targets.
 	FaultRole = workflow.FaultRole
+	// FaultPools reports the per-role node pool sizes a FaultPlan is
+	// validated against (see FaultPlan.Validate).
+	FaultPools = workflow.FaultPools
+	// RetryPolicy is the modeled client retry/backoff stance
+	// (RunConfig.Retry): bounded attempts with deterministic seeded
+	// jitter around exponential backoff.
+	RetryPolicy = retry.Policy
+	// ChaosCampaign sweeps fault kind x intensity x timing x method x
+	// mitigation as seed-varied deterministic trials; see its Run method
+	// and SmokeChaosCampaign.
+	ChaosCampaign = chaos.Campaign
+	// ChaosReport is a campaign's outcome: a digest-gated Deterministic
+	// section plus informational wall time.
+	ChaosReport = chaos.Report
+	// ChaosFault names one injectable fault family in a campaign.
+	ChaosFault = chaos.FaultKind
+	// ChaosMitigation names one mitigation configuration under test.
+	ChaosMitigation = chaos.Mitigation
 )
+
+// Structured failure sentinels for wedged or panicking runs: a run
+// ending with the no-progress watchdog firing (RunConfig.StallHorizon)
+// unwraps to ErrStalled; a modelled panic recovered into a structured
+// error unwraps to ErrPanicked. Match with errors.Is.
+var (
+	ErrStalled  = sim.ErrStalled
+	ErrPanicked = sim.ErrPanicked
+)
+
+// The sweepable chaos mitigations.
+const (
+	ChaosMitigationNone       = chaos.MitigationNone
+	ChaosMitigationRetry      = chaos.MitigationRetry
+	ChaosMitigationRepl       = chaos.MitigationRepl
+	ChaosMitigationRetryRepl  = chaos.MitigationRetryRepl
+	ChaosMitigationCheckpoint = chaos.MitigationCheckpoint
+)
+
+// ChaosFaults returns every injectable fault kind, in report order.
+func ChaosFaults() []ChaosFault { return chaos.Kinds() }
+
+// SmokeChaosCampaign returns the tiny CI chaos campaign (`imcbench
+// chaos -smoke`, `make chaos-smoke`): every moving part exercised in
+// seconds of wall time, digest-gated in internal/chaos's golden test.
+func SmokeChaosCampaign() ChaosCampaign { return chaos.SmokeCampaign() }
 
 // Fault target roles.
 const (

@@ -561,7 +561,9 @@ func (c *Client) Put(p *sim.Proc, varName string, version int, blk ndarray.Block
 					continue
 				}
 			}
-			if err := c.putOne(p, srv, key, sub); err != nil {
+			if err := c.sys.m.Retry.Do(p, "ds/put", func() error {
+				return c.putOne(p, srv, key, sub)
+			}); err != nil {
 				return fmt.Errorf("dataspaces put %s v%d: %w", varName, version, err)
 			}
 			stored++
@@ -680,7 +682,12 @@ func (c *Client) Get(p *sim.Proc, varName string, version int, box ndarray.Box) 
 		if !ok {
 			continue
 		}
-		blocks, err := c.getRegion(p, varName, i, key, overlap)
+		var blocks []ndarray.Block
+		err := c.sys.m.Retry.Do(p, "ds/get", func() error {
+			var err error
+			blocks, err = c.getRegion(p, varName, i, key, overlap)
+			return err
+		})
 		if err != nil {
 			return ndarray.Block{}, fmt.Errorf("dataspaces get %s v%d: %w", varName, version, err)
 		}

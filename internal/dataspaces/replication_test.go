@@ -135,3 +135,59 @@ func TestDetectorTriggersReReplication(t *testing.T) {
 		t.Fatalf("rereplication bytes counter = %v, want %d", got, bytes)
 	}
 }
+
+// TestSecondCrashDuringReReplication is the lease-edge companion: the
+// re-replication copy triggered by the first crash is still in flight
+// when every surviving server node dies too. Recovery must absorb the
+// mid-copy failure (best-effort, counted) instead of aborting the run.
+func TestSecondCrashDuringReReplication(t *testing.T) {
+	e, m := newTitan(t, 8)
+	reg := metrics.NewRegistry(e.Now)
+	m.EnableMetrics(reg)
+	sys, err := Deploy(m, Config{Servers: 6, Writers: 2, Replication: 2}, m.Nodes[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks big enough that each re-replication transfer spans real
+	// virtual time — room to land a second crash mid-copy. Two writers
+	// cover the same box, so every region re-replicates two objects in
+	// sequence and the second send can start after the crash.
+	global := box(t, []uint64{0}, []uint64{1 << 20})
+	if err := sys.DefineDims("T", global); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		w, err := sys.NewClient(m.Nodes[4+i], "sim", "w", 64<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Spawn("writer", func(p *sim.Proc) error {
+			if err := w.Put(p, "T", 1, ndarray.NewSyntheticBlock(global)); err != nil {
+				return err
+			}
+			w.Commit("T", 1)
+			return nil
+		})
+	}
+	// First crash at t=5; with the default 0.5 s / 3-miss detector the
+	// recovery copy starts at t=6.5. Kill the remaining server nodes
+	// while the first region's first transfer is still in flight.
+	e.At(5, func() {
+		m.Nodes[0].FailAt(5)
+		sys.Detector().ObserveFailure(m.Nodes[0])
+	})
+	e.At(6.5001, func() {
+		m.Nodes[1].FailAt(6.5001)
+		m.Nodes[2].FailAt(6.5001)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("second crash mid-recovery aborted the run: %v", err)
+	}
+	recovered, _, _, _ := sys.RecoveryStats()
+	if recovered {
+		t.Fatal("recovery reported complete despite losing every copy source mid-flight")
+	}
+	if got := reg.Counter("resilience/recovery_errors").Value(); got != 1 {
+		t.Fatalf("resilience/recovery_errors = %v, want 1", got)
+	}
+}

@@ -238,7 +238,9 @@ func (c *Client) Put(p *sim.Proc, varName string, version int, blk ndarray.Block
 			return fmt.Errorf("dimes put %s v%d: %w", varName, version, err)
 		}
 	}
-	if err := c.store.Put(key, blk); err != nil {
+	if err := c.sys.m.Retry.Do(p, "dimes/put", func() error {
+		return c.store.Put(key, blk)
+	}); err != nil {
 		if reg != nil {
 			reg.Deregister()
 		}
@@ -323,7 +325,12 @@ func (c *Client) Get(p *sim.Proc, varName string, version int, box ndarray.Box) 
 		if !owner.box.Overlaps(box) {
 			continue
 		}
-		blocks, err := owner.client.store.Query(key, box)
+		var blocks []ndarray.Block
+		err := c.sys.m.Retry.Do(p, "dimes/get", func() error {
+			var err error
+			blocks, err = owner.client.store.Query(key, box)
+			return err
+		})
 		if err != nil {
 			return ndarray.Block{}, err
 		}

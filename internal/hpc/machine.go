@@ -9,11 +9,13 @@ package hpc
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"github.com/imcstudy/imcstudy/internal/lustre"
 	"github.com/imcstudy/imcstudy/internal/memprof"
 	"github.com/imcstudy/imcstudy/internal/metrics"
 	"github.com/imcstudy/imcstudy/internal/rdma"
+	"github.com/imcstudy/imcstudy/internal/retry"
 	"github.com/imcstudy/imcstudy/internal/sim"
 )
 
@@ -24,6 +26,28 @@ var ErrOutOfNodeMemory = errors.New("hpc: out of node memory")
 // ErrNodeFailed reports communication with a failed node (the machine
 // failures Section IV-C notes no staging library tolerates).
 var ErrNodeFailed = errors.New("hpc: node failed")
+
+// transientErr is a sentinel whose failures are retryable: retry.Transient
+// classifies by this marker instead of maintaining an error list, so a new
+// transient fault kind needs no registration anywhere.
+type transientErr string
+
+func (e transientErr) Error() string { return string(e) }
+
+// Transient marks the failure as retryable under a retry.Policy.
+func (e transientErr) Transient() bool { return true }
+
+// ErrMessageLost reports an injected fabric loss: the message left the
+// sender but never arrived (a flaky link dropping packets).
+var ErrMessageLost error = transientErr("hpc: message lost in fabric (injected fault)")
+
+// ErrServerBusy reports injected staging back-pressure: the server
+// rejected the request instead of admitting it (overload shedding).
+var ErrServerBusy error = transientErr("hpc: staging server busy (injected back-pressure)")
+
+// ErrTransientOp reports an injected transient put/get failure — the
+// operation failed once but may succeed when re-issued.
+var ErrTransientOp error = transientErr("hpc: transient staging operation fault (injected)")
 
 // Spec describes one machine. All bandwidths are bytes per second; all
 // compute costs elsewhere in the testbed are expressed in Titan-seconds
@@ -99,6 +123,9 @@ type Node struct {
 	failed   bool
 	failedAt sim.Time
 	slow     []slowWindow
+	loss     []*transientWindow
+	busy     []*transientWindow
+	opfault  []*transientWindow
 }
 
 // slowWindow is a transient message-timeout injection: sends touching
@@ -108,6 +135,71 @@ type slowWindow struct {
 	from, until sim.Time
 	extra       sim.Time
 }
+
+// transientWindow is a probabilistic fault injection: during [from,
+// until) each guarded operation fails with probability prob, drawn from
+// the window's own seeded PRNG. The engine runs one process at a time,
+// so the draw sequence — and therefore every injected failure — is
+// reproducible from the seed alone.
+type transientWindow struct {
+	from, until sim.Time
+	prob        float64
+	rng         *rand.Rand
+}
+
+// draw consumes one PRNG value iff t falls inside the window.
+func (w *transientWindow) draw(t sim.Time) bool {
+	if t < w.from || t >= w.until || w.prob <= 0 {
+		return false
+	}
+	return w.rng.Float64() < w.prob
+}
+
+// drawAny draws every open window in insertion order (so the PRNG
+// consumption is deterministic) and reports whether any fired.
+func drawAny(ws []*transientWindow, t sim.Time) bool {
+	hit := false
+	for _, w := range ws {
+		if w.draw(t) {
+			hit = true
+		}
+	}
+	return hit
+}
+
+func newTransientWindow(from, until sim.Time, prob float64, seed int64) *transientWindow {
+	return &transientWindow{from: from, until: until, prob: prob, rng: rand.New(rand.NewSource(seed))}
+}
+
+// AddLossWindow injects message loss: each inter-node message touching
+// the node during [from, until) is dropped with probability prob.
+func (n *Node) AddLossWindow(from, until sim.Time, prob float64, seed int64) {
+	n.loss = append(n.loss, newTransientWindow(from, until, prob, seed))
+}
+
+// AddBusyWindow injects staging back-pressure: each staged put admitted
+// by the node during [from, until) is rejected with probability prob.
+func (n *Node) AddBusyWindow(from, until sim.Time, prob float64, seed int64) {
+	n.busy = append(n.busy, newTransientWindow(from, until, prob, seed))
+}
+
+// AddOpFaultWindow injects transient operation faults: each staged
+// put/get on the node during [from, until) fails with probability prob.
+func (n *Node) AddOpFaultWindow(from, until sim.Time, prob float64, seed int64) {
+	n.opfault = append(n.opfault, newTransientWindow(from, until, prob, seed))
+}
+
+// DrawMessageLoss reports whether a message touching the node at time t
+// is lost to an injected loss window.
+func (n *Node) DrawMessageLoss(t sim.Time) bool { return drawAny(n.loss, t) }
+
+// DrawServerBusy reports whether a staged put on the node at time t is
+// rejected by an injected busy window.
+func (n *Node) DrawServerBusy(t sim.Time) bool { return drawAny(n.busy, t) }
+
+// DrawOpFault reports whether a staged operation on the node at time t
+// fails to an injected op-fault window.
+func (n *Node) DrawOpFault(t sim.Time) bool { return drawAny(n.opfault, t) }
 
 // Failed reports whether the node has crashed.
 func (n *Node) Failed() bool { return n.failed }
@@ -174,6 +266,13 @@ type Machine struct {
 	// recording everywhere, mirroring trace.Recorder's nil-receiver
 	// pattern. Every layer holding a *Machine records through this field.
 	Metrics *metrics.Registry
+
+	// Retry is the run's retry/backoff discipline for transport sends and
+	// staging operations; nil (the default) means every failure surfaces
+	// immediately, the true behaviour of the studied libraries. Like
+	// Metrics, every layer holding a *Machine reaches it through this
+	// field, and retry.Retrier's nil-receiver Do makes the off state free.
+	Retry *retry.Retrier
 
 	watched []watchedNode
 }

@@ -15,12 +15,13 @@ import "strings"
 // tree. internal/lint itself is deliberately absent: the linter is host
 // tooling, not modelled code.
 var modelledPkgs = map[string]bool{
-	"adios": true, "bp": true, "core": true, "dataspaces": true,
-	"decaf": true, "dimes": true, "ffs": true, "flexpath": true,
-	"gpu": true, "hpc": true, "lammps": true, "laplace": true,
-	"lustre": true, "memprof": true, "metrics": true, "mpi": true,
-	"mpiio": true, "ndarray": true, "prof": true, "rdma": true, "sfc": true,
-	"sim": true, "staging": true, "synthetic": true, "trace": true,
+	"adios": true, "bp": true, "chaos": true, "core": true,
+	"dataspaces": true, "decaf": true, "dimes": true, "ffs": true,
+	"flexpath": true, "gpu": true, "hpc": true, "lammps": true,
+	"laplace": true, "lustre": true, "memprof": true, "metrics": true,
+	"mpi": true, "mpiio": true, "ndarray": true, "prof": true,
+	"rdma": true, "retry": true, "sfc": true, "sim": true,
+	"staging": true, "synthetic": true, "trace": true,
 	"transport": true, "workflow": true,
 }
 

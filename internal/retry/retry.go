@@ -1,0 +1,221 @@
+// Package retry models the wait-and-retry policies the paper's Table IV
+// recommends but no studied staging library ships: bounded re-attempts
+// with exponential backoff and deterministic seeded jitter, applied to
+// transport sends and staging put/get operations.
+//
+// The package is deliberately below hpc/transport/staging in the import
+// graph (it sees only sim and metrics), so any layer can carry a
+// *Retrier without cycles. Determinism contract: a Retrier consumes
+// randomness and writes metrics only when an operation actually fails —
+// a fault-free run through Do is byte-identical to a run with no policy
+// at all, which TestRetryPolicyLeavesFaultFreeRunsUnchanged pins.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/imcstudy/imcstudy/internal/metrics"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// ErrExhausted is the sentinel wrapped by every give-up: the operation
+// kept failing transiently until the policy's attempt or deadline budget
+// ran out.
+var ErrExhausted = errors.New("retry: attempts exhausted")
+
+// Policy describes one retry/backoff discipline. The zero value disables
+// retrying (Enabled reports false); workflow configs embed it by value.
+type Policy struct {
+	// MaxAttempts is the total number of tries per operation, the first
+	// included. <= 1 disables the policy.
+	MaxAttempts int
+	// BaseBackoff is the wait before the first re-attempt, in virtual
+	// seconds (default 1ms when the policy is enabled).
+	BaseBackoff sim.Time
+	// Multiplier grows the backoff between attempts (default 2).
+	Multiplier float64
+	// MaxBackoff caps a single backoff wait (0 = uncapped).
+	MaxBackoff sim.Time
+	// Jitter spreads each backoff uniformly over [1-Jitter, 1+Jitter)
+	// times its nominal value, drawn from the seeded PRNG (0 = none).
+	Jitter float64
+	// Deadline bounds one operation's total retrying time in virtual
+	// seconds: once attempt N ends later than start+Deadline, the retrier
+	// gives up instead of backing off again (0 = no deadline).
+	Deadline sim.Time
+	// Seed drives the jitter PRNG (0 is a valid seed).
+	Seed int64
+}
+
+// Enabled reports whether the policy retries at all.
+func (p Policy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// withDefaults fills the unset tuning fields of an enabled policy.
+func (p Policy) withDefaults() Policy {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 1e-3
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// Validate rejects malformed policies (negative budgets, jitter outside
+// [0,1)): a jitter of 1 could draw a zero or negative backoff.
+func (p Policy) Validate() error {
+	if !p.Enabled() {
+		return nil
+	}
+	if p.BaseBackoff < 0 || p.MaxBackoff < 0 || p.Deadline < 0 {
+		return fmt.Errorf("retry: negative backoff/deadline in policy %+v", p)
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		return fmt.Errorf("retry: jitter %v outside [0,1)", p.Jitter)
+	}
+	if p.Multiplier != 0 && p.Multiplier < 1 {
+		return fmt.Errorf("retry: backoff multiplier %v < 1", p.Multiplier)
+	}
+	return nil
+}
+
+// Transient reports whether err is retryable: some error in its chain
+// carries the Transient() marker the injected fault sentinels implement.
+// A give-up (*Exhausted) is never transient, even though it wraps one,
+// so nested retriers do not multiply each other's attempt budgets.
+func Transient(err error) bool {
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
+
+// Exhausted reports a give-up: Op failed transiently on all Attempts
+// tries (or ran past the deadline). It unwraps to the last underlying
+// error and matches errors.Is(err, ErrExhausted).
+type Exhausted struct {
+	Op       string
+	Attempts int
+	Err      error
+}
+
+func (e *Exhausted) Error() string {
+	return fmt.Sprintf("retry: %s gave up after %d attempts: %v", e.Op, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the last underlying failure for errors.Is/As.
+func (e *Exhausted) Unwrap() error { return e.Err }
+
+// Is matches the ErrExhausted sentinel.
+func (e *Exhausted) Is(target error) bool { return target == ErrExhausted }
+
+// Transient marks a give-up as final: the retry budget is spent.
+func (e *Exhausted) Transient() bool { return false }
+
+// Retrier executes operations under a Policy. A nil *Retrier is valid
+// and means "no policy": Do runs the operation once. One Retrier is
+// shared by every endpoint and client of a run; the engine's one-proc-
+// at-a-time scheduling makes the shared jitter PRNG deterministic.
+type Retrier struct {
+	policy Policy
+	rng    *rand.Rand
+	reg    *metrics.Registry
+	ctrs   map[string]*opCounters
+}
+
+// opCounters caches one operation's retry instruments. They are created
+// on the first actual retry, never earlier, so fault-free runs leave the
+// registry untouched.
+type opCounters struct {
+	retries  *metrics.Counter
+	giveups  *metrics.Counter
+	backoffS *metrics.Counter
+}
+
+// New builds a retrier for an enabled policy (nil when the policy is
+// off, so callers can hang the result on a machine unconditionally).
+// reg may be nil; retry telemetry is then dropped.
+func New(p Policy, reg *metrics.Registry) *Retrier {
+	if !p.Enabled() {
+		return nil
+	}
+	return &Retrier{
+		policy: p.withDefaults(),
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		reg:    reg,
+		ctrs:   make(map[string]*opCounters),
+	}
+}
+
+// Policy returns the retrier's (defaulted) policy; zero for nil.
+func (r *Retrier) Policy() Policy {
+	if r == nil {
+		return Policy{}
+	}
+	return r.policy
+}
+
+// Do runs f under the policy: transient failures are retried with
+// exponential backoff (the process sleeps the backoff in virtual time)
+// until f succeeds, fails non-transiently, or the attempt/deadline
+// budget runs out — the last case returns *Exhausted. A nil retrier
+// runs f exactly once.
+func (r *Retrier) Do(p *sim.Proc, op string, f func() error) error {
+	if r == nil {
+		return f()
+	}
+	start := p.Now()
+	backoff := r.policy.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		err := f()
+		if err == nil || !Transient(err) {
+			return err
+		}
+		if attempt >= r.policy.MaxAttempts {
+			r.count(op, func(c *opCounters) { c.giveups.Inc() })
+			return &Exhausted{Op: op, Attempts: attempt, Err: err}
+		}
+		if r.policy.Deadline > 0 && p.Now()-start >= r.policy.Deadline {
+			r.count(op, func(c *opCounters) { c.giveups.Inc() })
+			return &Exhausted{Op: op, Attempts: attempt, Err: fmt.Errorf("deadline %.3fs passed: %w", r.policy.Deadline, err)}
+		}
+		wait := backoff
+		if j := r.policy.Jitter; j > 0 {
+			// One PRNG draw per actual retry — never on success paths.
+			wait *= 1 + j*(2*r.rng.Float64()-1)
+		}
+		r.count(op, func(c *opCounters) {
+			c.retries.Inc()
+			c.backoffS.Add(wait)
+		})
+		if err := p.Sleep(wait); err != nil {
+			return err
+		}
+		backoff *= r.policy.Multiplier
+		if r.policy.MaxBackoff > 0 && backoff > r.policy.MaxBackoff {
+			backoff = r.policy.MaxBackoff
+		}
+	}
+}
+
+// count runs fn against op's cached instruments; no-op without a
+// registry. Instruments are resolved lazily so they exist only for
+// operations that actually retried.
+func (r *Retrier) count(op string, fn func(*opCounters)) {
+	if r.reg == nil {
+		return
+	}
+	c, ok := r.ctrs[op]
+	if !ok {
+		c = &opCounters{
+			retries:  r.reg.Counter("retry/" + op + "/retries"),
+			giveups:  r.reg.Counter("retry/" + op + "/giveups"),
+			backoffS: r.reg.Counter("retry/" + op + "/backoff_s"),
+		}
+		r.ctrs[op] = c
+	}
+	fn(c)
+}

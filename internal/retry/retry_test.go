@@ -1,0 +1,154 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/metrics"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+// flaky is a transient error for the tests.
+type flaky string
+
+func (f flaky) Error() string   { return string(f) }
+func (f flaky) Transient() bool { return true }
+
+func runOne(t *testing.T, fn func(p *sim.Proc) error) error {
+	t.Helper()
+	e := sim.NewEngine()
+	var out error
+	e.Spawn("op", func(p *sim.Proc) error {
+		out = fn(p)
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	return out
+}
+
+func TestDoRetriesTransientUntilSuccess(t *testing.T) {
+	r := New(Policy{MaxAttempts: 4, BaseBackoff: 0.5, Multiplier: 2}, nil)
+	fails := 2
+	var end sim.Time
+	err := runOne(t, func(p *sim.Proc) error {
+		defer func() { end = p.Now() }()
+		return r.Do(p, "op", func() error {
+			if fails > 0 {
+				fails--
+				return flaky("busy")
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	// Two retries back off 0.5 then 1.0 virtual seconds.
+	if end != 1.5 {
+		t.Fatalf("backoff time = %v, want 1.5", end)
+	}
+}
+
+func TestDoGivesUpWithExhausted(t *testing.T) {
+	reg := metrics.NewRegistry(func() sim.Time { return 0 })
+	r := New(Policy{MaxAttempts: 3, BaseBackoff: 0.1}, reg)
+	err := runOne(t, func(p *sim.Proc) error {
+		return r.Do(p, "op", func() error { return fmt.Errorf("wrapped: %w", flaky("busy")) })
+	})
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	var ex *Exhausted
+	if !errors.As(err, &ex) || ex.Attempts != 3 {
+		t.Fatalf("Exhausted attempts = %+v, want 3", err)
+	}
+	// A give-up is final: nested retriers must not re-retry it.
+	if Transient(err) {
+		t.Fatal("Exhausted classified transient; nested retries would multiply budgets")
+	}
+	if got := reg.Counter("retry/op/retries").Value(); got != 2 {
+		t.Fatalf("retries counter = %v, want 2", got)
+	}
+	if got := reg.Counter("retry/op/giveups").Value(); got != 1 {
+		t.Fatalf("giveups counter = %v, want 1", got)
+	}
+}
+
+func TestDoPassesNonTransientThrough(t *testing.T) {
+	r := New(Policy{MaxAttempts: 5, BaseBackoff: 0.1}, nil)
+	boom := errors.New("boom")
+	calls := 0
+	err := runOne(t, func(p *sim.Proc) error {
+		return r.Do(p, "op", func() error { calls++; return boom })
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("err = %v after %d calls, want boom after 1", err, calls)
+	}
+}
+
+func TestDoDeadlineBoundsRetrying(t *testing.T) {
+	r := New(Policy{MaxAttempts: 100, BaseBackoff: 1, Multiplier: 1, Deadline: 2.5}, nil)
+	var end sim.Time
+	err := runOne(t, func(p *sim.Proc) error {
+		defer func() { end = p.Now() }()
+		return r.Do(p, "op", func() error { return flaky("busy") })
+	})
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted via deadline", err)
+	}
+	if end > 4 {
+		t.Fatalf("deadline 2.5 let retrying run to t=%v", end)
+	}
+}
+
+func TestJitterIsSeedDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		r := New(Policy{MaxAttempts: 6, BaseBackoff: 0.1, Jitter: 0.5, Seed: 42}, nil)
+		var end sim.Time
+		err := runOne(t, func(p *sim.Proc) error {
+			defer func() { end = p.Now() }()
+			return r.Do(p, "op", func() error { return flaky("busy") })
+		})
+		if !errors.Is(err, ErrExhausted) {
+			t.Fatalf("err = %v", err)
+		}
+		return end
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed gave different jittered schedules: %v vs %v", a, b)
+	}
+}
+
+func TestNilRetrierRunsOnce(t *testing.T) {
+	var r *Retrier
+	calls := 0
+	err := runOne(t, func(p *sim.Proc) error {
+		return r.Do(p, "op", func() error { calls++; return flaky("busy") })
+	})
+	if calls != 1 || !Transient(err) {
+		t.Fatalf("nil retrier: %d calls, err %v", calls, err)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Policy
+		ok   bool
+	}{
+		{"disabled", Policy{}, true},
+		{"plain", Policy{MaxAttempts: 3}, true},
+		{"negative backoff", Policy{MaxAttempts: 3, BaseBackoff: -1}, false},
+		{"jitter too big", Policy{MaxAttempts: 3, Jitter: 1}, false},
+		{"shrinking multiplier", Policy{MaxAttempts: 3, Multiplier: 0.5}, false},
+		{"negative deadline", Policy{MaxAttempts: 3, Deadline: -0.1}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}

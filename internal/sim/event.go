@@ -7,6 +7,7 @@ type Event struct {
 	e       *Engine
 	fired   bool
 	val     any
+	label   string
 	waiters []*Proc
 }
 
@@ -14,6 +15,10 @@ type Event struct {
 func (e *Engine) NewEvent() *Event {
 	return &Event{e: e}
 }
+
+// SetLabel names the event in stall and deadlock diagnostics; waiters show
+// up as blocked on this label.
+func (ev *Event) SetLabel(label string) { ev.label = label }
 
 // Fired reports whether the event has been fired.
 func (ev *Event) Fired() bool { return ev.fired }
@@ -43,6 +48,11 @@ func (p *Proc) Wait(ev *Event) (any, error) {
 		return ev.val, nil
 	}
 	ev.waiters = append(ev.waiters, p)
+	if ev.label != "" {
+		p.SetWaitLabel(ev.label)
+	} else {
+		p.SetWaitLabel("event")
+	}
 	if err := p.block(); err != nil {
 		return nil, err
 	}

@@ -109,6 +109,7 @@ func (p *Proc) Acquire(r *Resource, n int64) error {
 	r.waits++
 	r.notify()
 	t0 := r.e.now
+	p.SetWaitLabel("resource " + r.name)
 	if err := p.block(); err != nil {
 		return err
 	}

@@ -18,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/imcstudy/imcstudy/internal/prof"
 )
@@ -66,6 +65,12 @@ type Engine struct {
 	// allocations per (component kind, event site); nil (the default)
 	// keeps the hot path at one pointer check per event.
 	prof *prof.Profiler
+
+	// stallHorizon arms the no-progress watchdog (see SetStallHorizon);
+	// lastProgress is the last virtual instant a process spawned, woke
+	// from a block, or finished.
+	stallHorizon Time
+	lastProgress Time
 
 	maxTime Time
 	stopped bool
@@ -118,7 +123,19 @@ type Proc struct {
 	wake chan wakeMsg
 	done bool
 	err  error
+
+	// waitingOn and blockedSince describe the current block for stall and
+	// deadlock diagnostics; wait sites (events, resources, gates) label
+	// them via SetWaitLabel before parking.
+	waitingOn    string
+	blockedSince Time
 }
+
+// SetWaitLabel names what the process is about to block on, so stall and
+// deadlock diagnostics can point at the wedged gate or resource instead
+// of just the process. The label clears automatically when the process
+// wakes.
+func (p *Proc) SetWaitLabel(label string) { p.waitingOn = label }
 
 // Name returns the process name given at Spawn time.
 func (p *Proc) Name() string { return p.name }
@@ -135,6 +152,7 @@ func (p *Proc) Engine() *Engine { return p.e }
 func (e *Engine) Spawn(name string, fn func(p *Proc) error) *Proc {
 	p := &Proc{e: e, name: name, wake: make(chan wakeMsg, 1)}
 	e.live++
+	e.lastProgress = e.now
 	e.procs = append(e.procs, p)
 	go func() {
 		msg := <-p.wake
@@ -142,7 +160,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc) error) *Proc {
 		if msg.aborted {
 			err = ErrAborted
 		} else {
-			err = fn(p)
+			err = runProc(p, fn)
 		}
 		p.done = true
 		p.err = err
@@ -150,6 +168,19 @@ func (e *Engine) Spawn(name string, fn func(p *Proc) error) *Proc {
 	}()
 	e.schedule(e.now, p, nil)
 	return p
+}
+
+// runProc executes a process body, converting a panic into a structured
+/// error instead of tearing down the host: the deferred recover runs
+// while the process still holds the engine's execution turn, so the
+// normal done/yield handshake below proceeds and the engine stays sane.
+func runProc(p *Proc, fn func(p *Proc) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = RecoveredPanic("proc "+p.name, v)
+		}
+	}()
+	return fn(p)
 }
 
 // schedule enqueues either a process wake-up or a callback at time t.
@@ -203,6 +234,7 @@ func (e *Engine) resume(p *Proc, msg wakeMsg) {
 	<-e.yielded
 	if p.done {
 		e.live--
+		e.lastProgress = e.now
 		if p.err != nil && !errors.Is(p.err, ErrAborted) {
 			e.errs = append(e.errs, fmt.Errorf("proc %s: %w", p.name, p.err))
 			if e.failFast {
@@ -223,8 +255,10 @@ func (p *Proc) yield() wakeMsg {
 // Event firing, a Resource release) must schedule it. Returns ErrAborted if
 // the engine shut down while blocked.
 func (p *Proc) block() error {
+	p.blockedSince = p.e.now
 	p.e.blocked[p] = struct{}{}
 	msg := p.yield()
+	p.waitingOn = ""
 	if msg.aborted {
 		return ErrAborted
 	}
@@ -237,6 +271,7 @@ func (e *Engine) unblock(p *Proc) {
 		return
 	}
 	delete(e.blocked, p)
+	e.lastProgress = e.now
 	e.schedule(e.now, p, nil)
 }
 
@@ -282,6 +317,21 @@ func (e *Engine) Run() error {
 			e.abortAll()
 			break
 		}
+		if e.stallHorizon > 0 && len(e.blocked) > 0 && it.t-e.lastProgress > e.stallHorizon {
+			// The clock kept moving (self-rescheduling processes keep the
+			// queue alive) but nothing blocked ever woke: the simulated
+			// system is wedged. Fail with a structured diagnostic instead
+			// of spinning; deadlineHit-style popped-item handling applies.
+			deadlineHit = true
+			e.errs = append(e.errs, &StallError{
+				Now: it.t, LastProgress: e.lastProgress, Blocked: e.blockedSnapshot(),
+			})
+			if it.proc != nil && !it.proc.done {
+				e.resume(it.proc, wakeMsg{aborted: true})
+			}
+			e.abortAll()
+			break
+		}
 		e.now = it.t
 		if it.proc != nil {
 			p := it.proc
@@ -311,13 +361,9 @@ func (e *Engine) Run() error {
 		}
 	}
 	if e.live > 0 && !deadlineHit {
-		names := make([]string, 0, len(e.blocked))
-		for p := range e.blocked {
-			names = append(names, p.name)
-		}
-		sort.Strings(names)
+		blocked := e.blockedSnapshot()
 		e.abortAll()
-		e.errs = append(e.errs, fmt.Errorf("%w: %v", ErrDeadlock, names))
+		e.errs = append(e.errs, fmt.Errorf("%w: [%s]", ErrDeadlock, joinBlocked(blocked)))
 	}
 	return errors.Join(e.errs...)
 }

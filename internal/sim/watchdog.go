@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// ErrStalled is returned by Run when the no-progress watchdog fires: the
+// virtual clock kept advancing past the stall horizon (self-rescheduling
+// processes kept the queue alive) while every blocked process stayed
+// blocked — the simulated system is wedged even though the engine is not
+// formally deadlocked.
+var ErrStalled = errors.New("sim: no progress within stall horizon")
+
+// ErrPanicked is the sentinel under every PanicError, so callers can
+// classify recovered panics without naming the concrete type.
+var ErrPanicked = errors.New("sim: panic recovered")
+
+// SetStallHorizon arms the no-progress watchdog: if the virtual clock
+// advances more than horizon seconds past the last progress instant
+// while processes are blocked, Run fails with a *StallError naming every
+// blocked process and what it is waiting on, instead of spinning until
+// the heat death of the host. Progress is a spawn, a process finishing,
+// or a blocked process waking; a process merely sleeping in a loop is
+// not progress. Zero or negative disables (the default).
+//
+// The watchdog only observes the event loop — it never schedules — so
+// arming it leaves a healthy run's results byte-identical.
+func (e *Engine) SetStallHorizon(horizon Time) {
+	if horizon < 0 {
+		horizon = 0
+	}
+	e.stallHorizon = horizon
+}
+
+// BlockedProc describes one parked process in a stall or deadlock
+// diagnostic.
+type BlockedProc struct {
+	// Name is the process name given at Spawn time.
+	Name string
+	// WaitingOn labels the primitive the process is parked on (a gate,
+	// resource or event label); "" when the wait site did not label.
+	WaitingOn string
+	// Since is the virtual time the process blocked at.
+	Since Time
+}
+
+func (b BlockedProc) String() string {
+	on := b.WaitingOn
+	if on == "" {
+		on = "unlabeled wait"
+	}
+	return fmt.Sprintf("%s <- %s since t=%.3f", b.Name, on, b.Since)
+}
+
+// StallError is the watchdog's structured diagnostic.
+type StallError struct {
+	// Now is the virtual time the watchdog fired at.
+	Now Time
+	// LastProgress is the last instant any process made progress.
+	LastProgress Time
+	// Blocked lists every parked process, sorted by name.
+	Blocked []BlockedProc
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("%v: t=%.3f, last progress t=%.3f, %d blocked: [%s]",
+		ErrStalled, e.Now, e.LastProgress, len(e.Blocked), joinBlocked(e.Blocked))
+}
+
+// Unwrap matches errors.Is(err, ErrStalled).
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// blockedSnapshot lists the currently parked processes sorted by name,
+// for stall and deadlock diagnostics.
+func (e *Engine) blockedSnapshot() []BlockedProc {
+	out := make([]BlockedProc, 0, len(e.blocked))
+	for p := range e.blocked {
+		out = append(out, BlockedProc{Name: p.name, WaitingOn: p.waitingOn, Since: p.blockedSince})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+func joinBlocked(bs []BlockedProc) string {
+	parts := make([]string, len(bs))
+	for i, b := range bs {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// PanicError is a recovered panic converted into a structured error with
+// site context, so one pathological process or trial cannot take down a
+// whole campaign. It matches errors.Is(err, ErrPanicked).
+type PanicError struct {
+	// Site names where the panic was recovered ("proc ana-3",
+	// "workflow.Run", "chaos trial 12", ...).
+	Site string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%v at %s: %v", ErrPanicked, e.Site, e.Value)
+}
+
+// Unwrap matches errors.Is(err, ErrPanicked).
+func (e *PanicError) Unwrap() error { return ErrPanicked }
+
+// RecoveredPanic builds a PanicError from a recover() value, capturing
+// the stack at the call site.
+func RecoveredPanic(site string, v any) *PanicError {
+	return &PanicError{Site: site, Value: v, Stack: string(debug.Stack())}
+}

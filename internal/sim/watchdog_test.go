@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestWatchdogConvertsWedgeToStallError wedges a reader on an event no one
+// ever fires while a ticker keeps the virtual clock moving, and checks the
+// watchdog turns the would-be endless run into a StallError naming the
+// wedged wait within bounded virtual time.
+func TestWatchdogConvertsWedgeToStallError(t *testing.T) {
+	e := NewEngine()
+	e.SetStallHorizon(5)
+	e.SetDeadline(1000) // backstop: the watchdog must fire long before this
+
+	gate := e.NewEvent()
+	gate.SetLabel("gate temperature v3")
+	e.Spawn("reader", func(p *Proc) error {
+		_, err := p.Wait(gate)
+		return err
+	})
+	// The ticker keeps the event queue non-empty forever, so without the
+	// watchdog this run only ends at the 1000 s deadline.
+	e.Spawn("ticker", func(p *Proc) error {
+		for {
+			if err := p.Sleep(0.1); err != nil {
+				return err
+			}
+		}
+	})
+
+	err := e.Run()
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("Run error = %v, want ErrStalled", err)
+	}
+	if errors.Is(err, ErrDeadline) {
+		t.Fatalf("watchdog did not fire before the deadline backstop: %v", err)
+	}
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("no *StallError in %v", err)
+	}
+	if stall.Now > 10 {
+		t.Fatalf("stall fired at t=%.3f, want within ~2x horizon", stall.Now)
+	}
+	if len(stall.Blocked) != 1 || stall.Blocked[0].Name != "reader" {
+		t.Fatalf("Blocked = %v, want exactly the reader", stall.Blocked)
+	}
+	if stall.Blocked[0].WaitingOn != "gate temperature v3" {
+		t.Fatalf("WaitingOn = %q, want the gate label", stall.Blocked[0].WaitingOn)
+	}
+	if !strings.Contains(err.Error(), "gate temperature v3") {
+		t.Fatalf("diagnostic %q does not name the wedged gate", err.Error())
+	}
+}
+
+// TestWatchdogQuietOnHealthyRun checks an armed watchdog never fires while
+// blocked processes keep making progress, even when the run outlasts the
+// horizon many times over.
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	e := NewEngine()
+	e.SetStallHorizon(2)
+	r := e.NewResource("slot", 1)
+	for i := 0; i < 4; i++ {
+		e.Spawn("worker", func(p *Proc) error {
+			for j := 0; j < 10; j++ {
+				if err := p.Acquire(r, 1); err != nil {
+					return err
+				}
+				if err := p.Sleep(1.5); err != nil { // < horizon per hold
+					return err
+				}
+				r.Release(1)
+			}
+			return nil
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("healthy run with armed watchdog: %v", err)
+	}
+}
+
+// TestWatchdogDisarmedByDefault: the wedge from the stall test runs to the
+// deadline when no horizon is set.
+func TestWatchdogDisarmedByDefault(t *testing.T) {
+	e := NewEngine()
+	e.SetDeadline(50)
+	gate := e.NewEvent()
+	e.Spawn("reader", func(p *Proc) error {
+		_, err := p.Wait(gate)
+		return err
+	})
+	e.Spawn("ticker", func(p *Proc) error {
+		for {
+			if err := p.Sleep(0.1); err != nil {
+				return err
+			}
+		}
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrDeadline) || errors.Is(err, ErrStalled) {
+		t.Fatalf("Run error = %v, want plain deadline, no stall", err)
+	}
+}
+
+// TestDeadlockDiagnosticNamesWaits checks the deadlock error carries the
+// wait labels, not just process names.
+func TestDeadlockDiagnosticNamesWaits(t *testing.T) {
+	e := NewEngine()
+	ev := e.NewEvent()
+	ev.SetLabel("missing commit")
+	e.Spawn("stuck", func(p *Proc) error {
+		_, err := p.Wait(ev)
+		return err
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("Run error = %v, want ErrDeadlock", err)
+	}
+	for _, want := range []string{"stuck", "missing commit"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadlock diagnostic %q missing %q", err.Error(), want)
+		}
+	}
+}
+
+// TestSpawnRecoversPanic checks a panicking process body surfaces as a
+// structured PanicError with site context instead of crashing the host.
+func TestSpawnRecoversPanic(t *testing.T) {
+	e := NewEngine()
+	e.SetFailFast(false) // containment: siblings outlive the panicking proc
+	e.Spawn("bomb", func(p *Proc) error {
+		if err := p.Sleep(1); err != nil {
+			return err
+		}
+		panic("boom")
+	})
+	done := false
+	e.Spawn("bystander", func(p *Proc) error {
+		if err := p.Sleep(2); err != nil {
+			return err
+		}
+		done = true
+		return nil
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrPanicked) {
+		t.Fatalf("Run error = %v, want ErrPanicked", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("no *PanicError in %v", err)
+	}
+	if pe.Site != "proc bomb" || pe.Value != "boom" {
+		t.Fatalf("PanicError site=%q value=%v, want proc bomb / boom", pe.Site, pe.Value)
+	}
+	if pe.Stack == "" {
+		t.Fatalf("PanicError carries no stack")
+	}
+	if !done {
+		t.Fatalf("bystander did not finish after sibling panic")
+	}
+}

@@ -1,0 +1,119 @@
+package staging
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/sim"
+)
+
+func detectorMachine(t *testing.T) (*sim.Engine, *hpc.Machine) {
+	t.Helper()
+	e := sim.NewEngine()
+	m, err := hpc.New(e, hpc.Titan(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, m
+}
+
+// TestDetectorCrashExactlyOnHeartbeatBoundary pins the lease edge: a
+// crash landing exactly on a heartbeat boundary is first missed at that
+// very boundary, so detection lands exactly one lease later — not a full
+// extra interval later.
+func TestDetectorCrashExactlyOnHeartbeatBoundary(t *testing.T) {
+	e, m := detectorMachine(t)
+	det := NewDetector(m, DetectorConfig{Interval: 0.5, Misses: 3})
+	var detectedAt sim.Time
+	det.Watch(func(n *hpc.Node, at sim.Time) { detectedAt = at })
+	e.At(1.0, func() {
+		m.Nodes[0].FailAt(1.0)
+		det.ObserveFailure(m.Nodes[0])
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := sim.Time(1.0 + 0.5*3); detectedAt != want {
+		t.Fatalf("detected at t=%v, want exactly boundary+lease = %v", detectedAt, want)
+	}
+	if !det.Dead(m.Nodes[0]) {
+		t.Fatal("node not declared dead after detection fired")
+	}
+	if got, want := detectedAt-1.0, det.ClientTimeout(); got != want {
+		t.Fatalf("boundary-crash detection latency %v != lease %v", got, want)
+	}
+}
+
+// TestDetectorMidIntervalCrashRoundsUp: a crash strictly inside a
+// heartbeat interval is only missed at the next boundary, so its
+// detection latency exceeds the lease by the remainder of the interval.
+func TestDetectorMidIntervalCrashRoundsUp(t *testing.T) {
+	e, m := detectorMachine(t)
+	det := NewDetector(m, DetectorConfig{Interval: 0.5, Misses: 3})
+	var detectedAt sim.Time
+	det.Watch(func(n *hpc.Node, at sim.Time) { detectedAt = at })
+	e.At(1.2, func() {
+		m.Nodes[0].FailAt(1.2)
+		det.ObserveFailure(m.Nodes[0])
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := sim.Time(1.5 + 0.5*3); detectedAt != want {
+		t.Fatalf("detected at t=%v, want next boundary + lease = %v", detectedAt, want)
+	}
+}
+
+// TestDetectorObserveFailureIdempotent: reporting the same crash twice
+// (two injection paths can race to it) must declare death once.
+func TestDetectorObserveFailureIdempotent(t *testing.T) {
+	e, m := detectorMachine(t)
+	det := NewDetector(m, DetectorConfig{Interval: 0.5, Misses: 3})
+	fired := 0
+	det.Watch(func(n *hpc.Node, at sim.Time) { fired++ })
+	e.At(1.0, func() {
+		m.Nodes[0].FailAt(1.0)
+		det.ObserveFailure(m.Nodes[0])
+		det.ObserveFailure(m.Nodes[0])
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("watcher fired %d times for one crash, want 1", fired)
+	}
+}
+
+// TestWatchdogUnwedgesGateReader is the wedged-workflow acceptance test
+// at the staging layer: a reader waits on a version no writer ever
+// commits while a ticker keeps virtual time flowing; the armed watchdog
+// must convert the hang into a structured stall error naming the gate,
+// within bounded virtual time.
+func TestWatchdogUnwedgesGateReader(t *testing.T) {
+	e := sim.NewEngine()
+	e.SetStallHorizon(5)
+	e.SetDeadline(1000) // backstop; the watchdog must fire long before
+	gate := NewGate(e, 1)
+	e.Spawn("reader", func(p *sim.Proc) error {
+		return gate.WaitReady(p, Key{Var: "T", Version: 7})
+	})
+	e.Spawn("ticker", func(p *sim.Proc) error {
+		for {
+			if err := p.Sleep(0.25); err != nil {
+				return err
+			}
+		}
+	})
+	err := e.Run()
+	if !errors.Is(err, sim.ErrStalled) {
+		t.Fatalf("Run error = %v, want ErrStalled", err)
+	}
+	if e.Now() > 20 {
+		t.Fatalf("watchdog fired at t=%v, want bounded by a few horizons", e.Now())
+	}
+	if !strings.Contains(err.Error(), "gate T v7") {
+		t.Fatalf("stall diagnostic %q does not name the wedged gate", err.Error())
+	}
+}

@@ -286,7 +286,21 @@ func (s *Store) Component() string { return s.component }
 // library overhead factor). Versions beyond maxVersions are evicted
 // *before* the new block is admitted, so the peak footprint reflects the
 // retained window, not a transient overlap.
+//
+// Injected busy windows on the store's node reject the put with
+// hpc.ErrServerBusy (back-pressure: overload shedding before admission);
+// injected op-fault windows fail it with hpc.ErrTransientOp. Both are
+// transient — a retry policy re-issues them.
 func (s *Store) Put(key Key, blk ndarray.Block) error {
+	now := s.m.E.Now()
+	if s.node.DrawServerBusy(now) {
+		s.countFault("busy_rejections")
+		return fmt.Errorf("%w: put %s v%d on %s", hpc.ErrServerBusy, key.Var, key.Version, s.component)
+	}
+	if s.node.DrawOpFault(now) {
+		s.countFault("op_faults")
+		return fmt.Errorf("%w: put %s v%d on %s", hpc.ErrTransientOp, key.Var, key.Version, s.component)
+	}
 	if s.maxVersions > 0 {
 		if _, exists := s.blocks[key]; !exists && len(s.vers[key.Var]) >= s.maxVersions {
 			s.evictFor(key.Var, key.Version)
@@ -366,8 +380,22 @@ func (s *Store) evictFor(varName string, incoming int) {
 	}
 }
 
-// Query returns the stored blocks of key that intersect box.
+// countFault records one injected transient store fault; no-op without
+// a registry on the machine.
+func (s *Store) countFault(kind string) {
+	if reg := s.m.Metrics; reg != nil {
+		reg.Counter("faults/" + kind).Inc()
+	}
+}
+
+// Query returns the stored blocks of key that intersect box. Injected
+// op-fault windows on the store's node fail the query transiently with
+// hpc.ErrTransientOp before any lookup happens.
 func (s *Store) Query(key Key, box ndarray.Box) ([]ndarray.Block, error) {
+	if s.node.DrawOpFault(s.m.E.Now()) {
+		s.countFault("op_faults")
+		return nil, fmt.Errorf("%w: get %s v%d on %s", hpc.ErrTransientOp, key.Var, key.Version, s.component)
+	}
 	set, ok := s.blocks[key]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s v%d %s on %s", ErrNotFound, key.Var, key.Version, box, s.component)
@@ -550,6 +578,7 @@ func (g *Gate) event(key Key) *sim.Event {
 	ev, ok := g.ready[key]
 	if !ok {
 		ev = g.e.NewEvent()
+		ev.SetLabel(fmt.Sprintf("gate %s v%d", key.Var, key.Version))
 		if g.failErr != nil {
 			ev.Fire(g.failErr)
 		}

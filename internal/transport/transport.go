@@ -259,7 +259,20 @@ func (ep *Endpoint) Connections() int { return len(ep.conns) }
 // Send moves bytes to peer, blocking until delivery. The path depends on
 // node placement and mode; see the package comment. Zero-byte sends cost
 // one message latency.
+//
+// Injected loss windows on either node can drop the message (the sender
+// learns via a failed completion and gets hpc.ErrMessageLost); when the
+// machine carries a retry policy, lost sends are re-attempted with
+// backoff before the error surfaces.
 func (ep *Endpoint) Send(p *sim.Proc, peer *Endpoint, bytes int64, opts SendOpts) error {
+	if ret := ep.m.Retry; ret != nil {
+		return ret.Do(p, "send", func() error { return ep.sendOnce(p, peer, bytes, opts) })
+	}
+	return ep.sendOnce(p, peer, bytes, opts)
+}
+
+// sendOnce is one send attempt.
+func (ep *Endpoint) sendOnce(p *sim.Proc, peer *Endpoint, bytes int64, opts SendOpts) error {
 	if ep.node.Failed() {
 		return fmt.Errorf("%w: %s (sender %s)", hpc.ErrNodeFailed, ep.node.Name(), ep.name)
 	}
@@ -281,6 +294,16 @@ func (ep *Endpoint) Send(p *sim.Proc, peer *Endpoint, bytes int64, opts SendOpts
 			return err
 		}
 		return p.Transfer(ep.m.Net, float64(bytes), ep.node.Bus())
+	}
+	// Injected fabric loss (inter-node paths only: the memory bus does
+	// not drop). Both ends draw so a window on either node can kill the
+	// message; the sender pays one message latency discovering it.
+	if src, dst := ep.node.DrawMessageLoss(p.Now()), peer.node.DrawMessageLoss(p.Now()); src || dst {
+		ep.countLoss()
+		if err := p.Sleep(ep.m.SpecV.NICLatency); err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: %s -> %s", hpc.ErrMessageLost, ep.name, peer.name)
 	}
 	switch ep.mode {
 	case ModeRDMA:
@@ -383,6 +406,14 @@ func (ep *Endpoint) sendSocket(p *sim.Proc, peer *Endpoint, bytes int64) error {
 	ep.count("socket", bytes)
 	effBytes := float64(bytes) / ep.m.SpecV.SocketEff
 	return p.Transfer(ep.m.Net, effBytes, ep.node.Out(), peer.node.In())
+}
+
+// countLoss records one injected message loss; no-op without a registry
+// on the machine.
+func (ep *Endpoint) countLoss() {
+	if reg := ep.m.Metrics; reg != nil {
+		reg.Counter("transport/lost_msgs").Inc()
+	}
 }
 
 // countTimeout records one injected message timeout; no-op without a

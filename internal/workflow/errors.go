@@ -4,11 +4,14 @@ import (
 	"github.com/imcstudy/imcstudy/internal/dimes"
 	"github.com/imcstudy/imcstudy/internal/hpc"
 	"github.com/imcstudy/imcstudy/internal/rdma"
+	"github.com/imcstudy/imcstudy/internal/retry"
 	"github.com/imcstudy/imcstudy/internal/transport"
 )
 
 // resourceErrors enumerates the Table IV failure classes the testbed can
-// produce at runtime, plus the machine failures of Section IV-C.
+// produce at runtime, plus the machine failures of Section IV-C and the
+// injected transient faults (lost messages, busy rejections, op faults,
+// exhausted retry budgets).
 func resourceErrors() []error {
 	return []error{
 		rdma.ErrOutOfMemory,
@@ -18,5 +21,9 @@ func resourceErrors() []error {
 		transport.ErrOutOfSockets,
 		dimes.ErrBufferFull,
 		hpc.ErrNodeFailed,
+		hpc.ErrMessageLost,
+		hpc.ErrServerBusy,
+		hpc.ErrTransientOp,
+		retry.ErrExhausted,
 	}
 }

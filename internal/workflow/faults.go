@@ -55,6 +55,21 @@ type TimeoutWindow struct {
 	Extra    sim.Time
 }
 
+// TransientWindow schedules a probabilistic transient fault on one node
+// during [At, At+Duration): every exposed operation draws independently
+// against Prob from a per-window PRNG seeded off the plan seed, so the
+// same plan reproduces the same faults. The window's meaning depends on
+// which plan list it sits in: message loss, server-busy rejection, or
+// transient op failure.
+type TransientWindow struct {
+	Role     FaultRole
+	Index    int
+	At       sim.Time
+	Duration sim.Time
+	// Prob is the per-operation fault probability in [0, 1].
+	Prob float64
+}
+
 // FaultPlan is a seed-deterministic schedule of injected faults. The
 // same plan against the same Config reproduces the same run to the
 // byte: the engine is deterministic and the random crashes are expanded
@@ -72,12 +87,110 @@ type FaultPlan struct {
 	Crashes      []NodeCrash
 	Degradations []LinkDegradation
 	Timeouts     []TimeoutWindow
+
+	// MessageLoss windows drop inter-node messages with probability Prob
+	// per message end (sender or receiver inside a window draws).
+	MessageLoss []TransientWindow
+	// ServerBusy windows make a staging store reject Put admissions with
+	// probability Prob — back-pressure from an overloaded server.
+	ServerBusy []TransientWindow
+	// OpFaults windows make staging store puts and queries fail
+	// transiently with probability Prob.
+	OpFaults []TransientWindow
 }
 
 // Empty reports whether the plan injects nothing.
 func (fp *FaultPlan) Empty() bool {
 	return fp == nil || (fp.RandomCrashes == 0 && len(fp.Crashes) == 0 &&
-		len(fp.Degradations) == 0 && len(fp.Timeouts) == 0)
+		len(fp.Degradations) == 0 && len(fp.Timeouts) == 0 &&
+		len(fp.MessageLoss) == 0 && len(fp.ServerBusy) == 0 && len(fp.OpFaults) == 0)
+}
+
+// FaultPools gives Validate the per-role node-pool sizes of a placed
+// run. A zero pool means the role is absent for the method (faults
+// targeting it are skipped, so any index is accepted).
+type FaultPools struct {
+	Staging, Sim, Ana int
+}
+
+// Validate rejects plans that are malformed regardless of expansion
+// outcome: negative times, durations or budgets, factors and
+// probabilities outside their domain, and targets outside the placed
+// node pools. Run calls it after placement so a bad plan fails loudly
+// up front instead of silently misfiring mid-run.
+func (fp *FaultPlan) Validate(pools FaultPools) error {
+	if fp == nil {
+		return nil
+	}
+	if fp.RandomCrashes < 0 {
+		return fmt.Errorf("workflow: fault plan: RandomCrashes %d < 0", fp.RandomCrashes)
+	}
+	if fp.RandomCrashHorizon < 0 {
+		return fmt.Errorf("workflow: fault plan: RandomCrashHorizon %v < 0", fp.RandomCrashHorizon)
+	}
+	target := func(kind string, i int, role FaultRole, index int, at, duration sim.Time) error {
+		var pool int
+		switch role {
+		case RoleStaging:
+			pool = pools.Staging
+		case RoleSim:
+			pool = pools.Sim
+		case RoleAna:
+			pool = pools.Ana
+		default:
+			return fmt.Errorf("workflow: fault plan: %s[%d]: unknown role %q", kind, i, role)
+		}
+		if index < 0 || (pool > 0 && index >= pool) {
+			return fmt.Errorf("workflow: fault plan: %s[%d]: index %d out of range (%d %s nodes)",
+				kind, i, index, pool, role)
+		}
+		if at < 0 {
+			return fmt.Errorf("workflow: fault plan: %s[%d]: At %v < 0", kind, i, at)
+		}
+		if duration < 0 {
+			return fmt.Errorf("workflow: fault plan: %s[%d]: Duration %v < 0", kind, i, duration)
+		}
+		return nil
+	}
+	for i, cr := range fp.Crashes {
+		if err := target("Crashes", i, cr.Role, cr.Index, cr.At, 0); err != nil {
+			return err
+		}
+	}
+	for i, dg := range fp.Degradations {
+		if err := target("Degradations", i, dg.Role, dg.Index, dg.At, dg.Duration); err != nil {
+			return err
+		}
+		if dg.Factor <= 0 || dg.Factor > 1 {
+			return fmt.Errorf("workflow: fault plan: Degradations[%d]: Factor %v outside (0,1]", i, dg.Factor)
+		}
+	}
+	for i, tw := range fp.Timeouts {
+		if err := target("Timeouts", i, tw.Role, tw.Index, tw.At, tw.Duration); err != nil {
+			return err
+		}
+		if tw.Extra < 0 {
+			return fmt.Errorf("workflow: fault plan: Timeouts[%d]: Extra %v < 0", i, tw.Extra)
+		}
+	}
+	for _, list := range []struct {
+		kind string
+		ws   []TransientWindow
+	}{
+		{"MessageLoss", fp.MessageLoss},
+		{"ServerBusy", fp.ServerBusy},
+		{"OpFaults", fp.OpFaults},
+	} {
+		for i, w := range list.ws {
+			if err := target(list.kind, i, w.Role, w.Index, w.At, w.Duration); err != nil {
+				return err
+			}
+			if w.Prob < 0 || w.Prob > 1 {
+				return fmt.Errorf("workflow: fault plan: %s[%d]: Prob %v outside [0,1]", list.kind, i, w.Prob)
+			}
+		}
+	}
+	return nil
 }
 
 // expandCrashes resolves the plan's crash list: explicit crashes plus
@@ -224,6 +337,34 @@ func applyFaultPlan(cfg Config, e *sim.Engine, m *hpc.Machine, lay *layout, det 
 		node.AddTimeoutWindow(tw.At, tw.At+tw.Duration, tw.Extra)
 		if reg != nil {
 			reg.Counter("faults/timeout_windows").Inc()
+		}
+	}
+	// Transient windows: each gets its own PRNG seeded off the plan seed,
+	// a per-kind offset, and its list position, so the draw streams are
+	// independent of each other and stable across runs.
+	for _, list := range []struct {
+		kind    string
+		offset  int64
+		install func(n *hpc.Node, from, until sim.Time, prob float64, seed int64)
+		ws      []TransientWindow
+	}{
+		{"loss_windows", 0x1e35, (*hpc.Node).AddLossWindow, plan.MessageLoss},
+		{"busy_windows", 0x9e37, (*hpc.Node).AddBusyWindow, plan.ServerBusy},
+		{"opfault_windows", 0x5bd1, (*hpc.Node).AddOpFaultWindow, plan.OpFaults},
+	} {
+		for i, w := range list.ws {
+			node, err := faultNode(cfg, lay, w.Role, w.Index)
+			if err != nil {
+				return err
+			}
+			if node == nil || w.Duration <= 0 || w.Prob <= 0 {
+				continue
+			}
+			seed := plan.Seed ^ (list.offset << 16) ^ int64(i+1)
+			list.install(node, w.At, w.At+w.Duration, w.Prob, seed)
+			if reg != nil {
+				reg.Counter("faults/" + list.kind).Inc()
+			}
 		}
 	}
 	return nil

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 
+	"github.com/imcstudy/imcstudy/internal/hpc"
+	"github.com/imcstudy/imcstudy/internal/retry"
 	"github.com/imcstudy/imcstudy/internal/sim"
 )
 
@@ -52,3 +54,61 @@ func FuzzFaultPlan(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTransientFaultDeterminism extends the seed-determinism contract to
+// the transient-fault windows and the retry policy: a tiny double run of
+// the same configuration — probabilistic loss/busy/op-fault draws and
+// backoff jitter included — must produce byte-identical metrics, because
+// every draw stream is derived from (plan seed, window position) and
+// jitter from the policy seed, never from global randomness.
+func FuzzTransientFaultDeterminism(f *testing.F) {
+	f.Add(int64(0), 0.0, 0.0, 0.0, int64(0), 0.0)
+	f.Add(int64(7), 0.2, 0.2, 0.1, int64(11), 0.3)
+	f.Add(int64(-3), 1.0, 0.0, 0.5, int64(1<<33), 0.99)
+	f.Fuzz(func(t *testing.T, planSeed int64, lossP, busyP, opP float64, retrySeed int64, jitter float64) {
+		for _, p := range []float64{lossP, busyP, opP, jitter} {
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				t.Skip("out of domain")
+			}
+		}
+		if jitter >= 1 {
+			t.Skip("jitter domain is [0,1)")
+		}
+		cfg := Config{
+			Machine:  hpc.Titan(),
+			Method:   MethodDataSpacesNative,
+			Workload: WorkloadSynthetic,
+			SimProcs: 4,
+			AnaProcs: 2,
+			Steps:    1,
+			Metrics:  true,
+			Faults: &FaultPlan{
+				Seed:        planSeed,
+				MessageLoss: []TransientWindow{{Role: RoleStaging, Index: 0, At: 0, Duration: 1000, Prob: lossP}},
+				ServerBusy:  []TransientWindow{{Role: RoleStaging, Index: 0, At: 0, Duration: 1000, Prob: busyP}},
+				OpFaults:    []TransientWindow{{Role: RoleStaging, Index: 0, At: 0, Duration: 1000, Prob: opP}},
+			},
+			Retry: retry.Policy{
+				MaxAttempts: 6, BaseBackoff: 0.001, MaxBackoff: 0.05,
+				Jitter: jitter, Seed: retrySeed,
+			},
+		}
+		run := func() []byte {
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			// Failed runs (retry budget exhausted under heavy loss) are
+			// legitimate outcomes; their metrics must still reproduce.
+			js, err := res.Metrics.EncodeJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return js
+		}
+		if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+			t.Fatal("same seeds produced different metrics under transient faults")
+		}
+	})
+}
+

@@ -10,6 +10,7 @@ import (
 	"github.com/imcstudy/imcstudy/internal/memprof"
 	"github.com/imcstudy/imcstudy/internal/metrics"
 	"github.com/imcstudy/imcstudy/internal/prof"
+	"github.com/imcstudy/imcstudy/internal/retry"
 	"github.com/imcstudy/imcstudy/internal/sim"
 	"github.com/imcstudy/imcstudy/internal/staging"
 	"github.com/imcstudy/imcstudy/internal/synthetic"
@@ -129,9 +130,24 @@ type Config struct {
 	FailStagingNodeAt float64
 
 	// Faults injects a seed-deterministic schedule of node crashes, link
-	// degradation windows and message-timeout windows; it generalizes
-	// FailStagingNodeAt (both compose).
+	// degradation windows, message-timeout windows and transient-fault
+	// windows (message loss, server-busy rejections, op faults); it
+	// generalizes FailStagingNodeAt (both compose).
 	Faults *FaultPlan
+
+	// Retry models a client-side retry/backoff policy on staged puts,
+	// gets and transport sends (the mitigation knob transient faults are
+	// swept against). The zero value disables; a disabled or fault-free
+	// run is byte-identical to one with no policy at all, because backoff
+	// jitter is only drawn on actual retries.
+	Retry retry.Policy
+
+	// StallHorizon arms the engine's no-progress watchdog: a run whose
+	// virtual clock advances this far past the last blocked-process
+	// wake-up (while some process is still blocked) fails with a
+	// structured sim.StallError naming the wedged waits, instead of
+	// spinning to the deadline. 0 disables.
+	StallHorizon float64
 
 	// Replication stores every staged object on this many staging
 	// servers placed on distinct nodes, with failover reads, a modeled
@@ -315,11 +331,27 @@ func profileCounterTracks(p *prof.Profile) []trace.CounterTrack {
 // Run executes one workflow configuration. Setup mistakes return an
 // error; runtime failures of the modelled systems (out of RDMA memory,
 // DRC overload, socket exhaustion, OOM) are captured in Result.Failed.
-func Run(cfg Config) (Result, error) {
+// A panic anywhere in the run is recovered into a structured
+// sim.PanicError, so one pathological configuration cannot take down a
+// whole campaign.
+func Run(cfg Config) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = sim.RecoveredPanic("workflow.Run", v)
+		}
+	}()
+	return run(cfg)
+}
+
+func run(cfg Config) (Result, error) {
 	if cfg.SimProcs <= 0 || cfg.AnaProcs <= 0 {
 		return Result{}, fmt.Errorf("workflow: procs (%d,%d)", cfg.SimProcs, cfg.AnaProcs)
 	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return Result{}, fmt.Errorf("workflow: %w", err)
+	}
 	e := sim.NewEngine()
+	e.SetStallHorizon(sim.Time(cfg.StallHorizon))
 	lay, m, err := place(e, cfg)
 	if err != nil {
 		return Result{}, err
@@ -341,6 +373,7 @@ func Run(cfg Config) (Result, error) {
 		m.WatchNode("sim-0", lay.simNodes[0])
 		m.WatchNode("ana-0", lay.anaNodes[0])
 	}
+	m.Retry = retry.New(cfg.Retry, res.Metrics)
 	var profiler *prof.Profiler
 	if cfg.Profile {
 		label := cfg.ProfileLabel
@@ -409,6 +442,14 @@ func Run(cfg Config) (Result, error) {
 			NodeCrash{Role: RoleStaging, Index: 0, At: sim.Time(cfg.FailStagingNodeAt)})
 		plan = &merged
 		cfg.Faults = plan
+	}
+	pools := FaultPools{Staging: len(lay.serverNodes), Sim: len(lay.simNodes), Ana: len(lay.anaNodes)}
+	if pools.Staging == 0 && cfg.Method == MethodFlexpath {
+		// Flexpath stages writer-side: staging faults land on sim nodes.
+		pools.Staging = len(lay.simNodes)
+	}
+	if err := plan.Validate(pools); err != nil {
+		return Result{}, err
 	}
 	if err := applyFaultPlan(cfg, e, m, lay, det, c); err != nil {
 		return Result{}, err
