@@ -1,5 +1,6 @@
 // Command imclint runs the testbed's determinism analyzers (eventorder,
-// maprange, metricsnil, walltime — see internal/lint) over Go packages.
+// maprange, metricsnil, nondetflow, profnil, sharedmut, walltime,
+// stalewaiver — see internal/lint) over Go packages.
 //
 // Standalone (what `make lint` runs):
 //
@@ -7,7 +8,10 @@
 //
 // prints findings as file:line:col: analyzer: message and exits 2 when
 // there are any, so CI fails on the first order-dependent map walk or
-// wall-clock call that sneaks into modelled code.
+// wall-clock call that sneaks into modelled code. With -json the report
+// is a sorted JSON array instead (stable byte-for-byte across runs);
+// -o FILE writes the report to FILE — findings still echo to stdout so
+// a failing CI log shows them inline.
 //
 // As a vet tool:
 //
@@ -16,17 +20,21 @@
 // imclint speaks cmd/go's unitchecker protocol: it answers the -V=full
 // build-ID handshake, accepts a *.cfg JSON file describing one package
 // unit, resolves imports from the export data the go command already
-// built, and writes the (empty) facts file the protocol requires.
+// built, and reads/writes per-package facts files (PackageVetx /
+// VetxOutput) so inter-procedural facts — nondetflow's taint — flow
+// across package units exactly as they do in the standalone driver.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/importer"
 	"go/token"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"github.com/imcstudy/imcstudy/internal/lint"
@@ -53,10 +61,26 @@ func main() {
 	os.Exit(runStandalone(args))
 }
 
+// jsonFinding is the -json wire form of one diagnostic. Paths are
+// cwd-relative when possible so reports are comparable across checkouts.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // runStandalone loads the given package patterns (default ./...) and
 // applies the suite.
-func runStandalone(patterns []string) int {
-	ld, err := load.New(".", patterns...)
+func runStandalone(args []string) int {
+	fs := flag.NewFlagSet("imclint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a sorted JSON array")
+	outFile := fs.String("o", "", "write the report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	ld, err := load.New(".", fs.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -71,14 +95,60 @@ func runStandalone(patterns []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	cwd, _ := os.Getwd()
+	var report strings.Builder
+	if *jsonOut {
+		findings := make([]jsonFinding, 0, len(diags)) // non-nil: clean trees encode as []
+		for _, d := range diags {
+			p := ld.Fset().Position(d.Pos)
+			findings = append(findings, jsonFinding{
+				File:     relPath(cwd, p.Filename),
+				Line:     p.Line,
+				Col:      p.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc, err := json.MarshalIndent(findings, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imclint:", err)
+			return 1
+		}
+		report.Write(enc)
+		report.WriteByte('\n')
+	} else {
+		for _, d := range diags {
+			report.WriteString(format(ld.Fset(), cwd, d))
+			report.WriteByte('\n')
+		}
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, []byte(report.String()), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "imclint:", err)
+			return 1
+		}
+		// The report went to a file; still surface findings in the log.
+		for _, d := range diags {
+			fmt.Println(format(ld.Fset(), cwd, d))
+		}
+	} else {
+		os.Stdout.WriteString(report.String())
+	}
 	if len(diags) == 0 {
 		return 0
 	}
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		fmt.Println(format(ld.Fset(), cwd, d))
-	}
 	return 2
+}
+
+// relPath shortens name relative to base when that stays inside base.
+func relPath(base, name string) string {
+	if base == "" {
+		return name
+	}
+	if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
 }
 
 // vetConfig mirrors the fields of cmd/go's vet configuration JSON that
@@ -91,10 +161,43 @@ type vetConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
-	VetxOnly    bool
-	VetxOutput  string
+	PackageVetx map[string]string // dependency import path -> its facts file
+	Standard    map[string]bool   // set of standard-library import paths
+	VetxOnly    bool              // facts wanted, diagnostics not
+	VetxOutput  string            // where to write this unit's facts
 
 	SucceedOnTypecheckFailure bool
+}
+
+// stdlibUnit reports whether a vet unit describes a standard-library
+// package. cmd/go's Standard map covers only the unit's *dependencies*,
+// never the unit itself, so the unit's own path is classified the way
+// the go command does internally: stdlib import paths have no dot in
+// their first segment ("math/rand", "os", "vendor/golang.org/...")
+// while module paths start with a dotted domain.
+func stdlibUnit(cfg *vetConfig) bool {
+	if cfg.Standard[cfg.ImportPath] {
+		return true
+	}
+	seg := cfg.ImportPath
+	if i := strings.Index(seg, "/"); i >= 0 {
+		seg = seg[:i]
+	}
+	return !strings.Contains(seg, ".")
+}
+
+// writeFacts serializes the unit's facts where cmd/go expects them.
+// cmd/go content-hashes this file into its cache key, so the encoding
+// must be deterministic (FactStore.EncodePackage sorts).
+func (cfg *vetConfig) writeFacts(store *analysis.FactStore) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	data, err := store.EncodePackage(cfg.ImportPath)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.VetxOutput, data, 0o666)
 }
 
 // runUnit analyzes one package unit described by a vet .cfg file.
@@ -109,10 +212,36 @@ func runUnit(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "imclint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The protocol requires a facts file even though the suite exports
-	// no facts; cmd/go caches it and feeds it to dependent vet runs.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("imclint: no facts\n"), 0o666); err != nil {
+	// Standard-library units carry no imclint facts: the analyzers treat
+	// stdlib nondeterminism roots (time.Now, os.Getenv, ...) as
+	// intrinsics, matching the standalone driver, which never re-checks
+	// stdlib source either. (Analyzing stdlib source would also poison
+	// legitimate API: math/rand.NewSource calls unexported tainted
+	// helpers, so a facts pass over it would mark the seeded-source
+	// constructor itself nondeterministic.) An empty facts file keeps
+	// the protocol happy.
+	if stdlibUnit(&cfg) {
+		if err := cfg.writeFacts(analysis.NewFactStore()); err != nil {
+			fmt.Fprintln(os.Stderr, "imclint:", err)
+			return 1
+		}
+		return 0
+	}
+	// Seed the store with the facts of every dependency unit cmd/go
+	// already ran; units arrive in dependency order so these exist.
+	store := analysis.NewFactStore()
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, path)
+	}
+	sort.Strings(vetxPaths)
+	for _, path := range vetxPaths {
+		fdata, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imclint:", err)
+			return 1
+		}
+		if err := store.DecodePackage(path, fdata); err != nil {
 			fmt.Fprintln(os.Stderr, "imclint:", err)
 			return 1
 		}
@@ -132,17 +261,27 @@ func runUnit(cfgPath string) int {
 	pkg, err := ld.Check(cfg.ImportPath, cfg.Dir, cfg.GoFiles)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			// cmd/go still wants the facts file; an empty one is honest
+			// here — no analysis happened.
+			if werr := cfg.writeFacts(analysis.NewFactStore()); werr != nil {
+				fmt.Fprintln(os.Stderr, "imclint:", werr)
+				return 1
+			}
 			return 0
 		}
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	if cfg.VetxOnly {
-		return 0
-	}
-	diags, err := lint.Run([]*load.Package{pkg}, lint.Analyzers())
+	// VetxOnly units (pure dependencies) still run the Facts phase —
+	// that is the entire point of the facts file — they just skip
+	// diagnostics.
+	diags, err := lint.RunPackage(store, pkg, lint.Analyzers(), !cfg.VetxOnly)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := cfg.writeFacts(store); err != nil {
+		fmt.Fprintln(os.Stderr, "imclint:", err)
 		return 1
 	}
 	if len(diags) == 0 {
@@ -167,11 +306,5 @@ func majorMinor(v string) string {
 // is shorter (the standalone CLI case).
 func format(fset *token.FileSet, base string, d analysis.Diagnostic) string {
 	p := fset.Position(d.Pos)
-	name := p.Filename
-	if base != "" {
-		if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
-		}
-	}
-	return fmt.Sprintf("%s:%d:%d: %s: %s", name, p.Line, p.Column, d.Analyzer, d.Message)
+	return fmt.Sprintf("%s:%d:%d: %s: %s", relPath(base, p.Filename), p.Line, p.Column, d.Analyzer, d.Message)
 }

@@ -28,7 +28,21 @@ type Analyzer struct {
 	// Doc is the one-paragraph description printed by `imclint -help`.
 	Doc string
 
-	// Run applies the analyzer to one package.
+	// Facts, when non-nil, runs before any analyzer's Run on every
+	// package the driver sees — including packages outside the
+	// analyzer's reporting scope — and may export facts on the
+	// package's objects with Pass.ExportObjectFact. Drivers process
+	// packages in dependency order, so Facts can already import facts
+	// from the package's dependencies. In `go vet` unitchecker mode
+	// this is the phase that runs for VetxOnly (dependency-only)
+	// units.
+	Facts func(*Pass) error
+
+	// FactTypes lists one zero value per concrete fact type the
+	// analyzer exports, so drivers can register them with the codec.
+	FactTypes []Fact
+
+	// Run applies the analyzer to one package and reports diagnostics.
 	Run func(*Pass) error
 }
 
@@ -42,6 +56,33 @@ type Pass struct {
 
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+
+	// Fact hooks, wired by the driver via FactStore.Bind. Nil hooks
+	// make exports no-ops and imports always-miss, so analyzers stay
+	// runnable under fact-less drivers.
+	exportObjectFact func(types.Object, Fact) error
+	importObjectFact func(types.Object, Fact) bool
+}
+
+// ExportObjectFact attaches fact to obj, making it visible to later
+// passes over this package and to passes over importing packages. Obj
+// must be a package-level function, method or variable of the package
+// under analysis.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) error {
+	if p.exportObjectFact == nil {
+		return nil
+	}
+	return p.exportObjectFact(obj, fact)
+}
+
+// ImportObjectFact fills fact (a pointer to the queried fact type) with
+// the fact of that type attached to obj, reporting whether one exists.
+// Obj may belong to any package the driver has already processed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.importObjectFact == nil {
+		return false
+	}
+	return p.importObjectFact(obj, fact)
 }
 
 // Diagnostic is one finding, anchored to a source position.

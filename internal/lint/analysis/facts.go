@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Fact is a typed datum an analyzer attaches to a types.Object so later
+// passes — over the same package or over packages that import it — can
+// query it. The semantics mirror golang.org/x/tools' go/analysis facts:
+// a fact exported on an object travels with the package (serialized
+// into the vetx facts file in unitchecker mode, carried by the driver's
+// FactStore in standalone mode) and is visible wherever the object is.
+// Fact implementations must be pointers to gob-encodable structs,
+// registered once with RegisterFact.
+type Fact interface {
+	// AFact is a marker method; it has no behavior.
+	AFact()
+}
+
+// RegisterFact makes a concrete fact type known to the gob codec used
+// for the per-package facts files. Call it from the owning analyzer's
+// init.
+func RegisterFact(f Fact) { gob.Register(f) }
+
+// ObjKey returns a key for obj that is stable across loads of the same
+// package — whether the object came from parsed source or from compiler
+// export data — so facts exported while analyzing a package can be
+// found again by its importers. Only package-level functions, methods
+// and package-level variables are addressable; everything else (locals,
+// fields, builtins) returns ok=false and cannot carry facts.
+func ObjKey(obj types.Object) (key string, ok bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, _ := o.Type().(*types.Signature)
+		if sig == nil {
+			return "", false
+		}
+		if recv := sig.Recv(); recv != nil {
+			rt := recv.Type()
+			ptr := ""
+			if p, isPtr := rt.(*types.Pointer); isPtr {
+				rt = p.Elem()
+				ptr = "*"
+			}
+			named, isNamed := rt.(*types.Named)
+			if !isNamed {
+				return "", false
+			}
+			return "(" + ptr + named.Obj().Name() + ")." + o.Name(), true
+		}
+		return "func " + o.Name(), true
+	case *types.Var:
+		if o.Parent() != o.Pkg().Scope() {
+			return "", false
+		}
+		return "var " + o.Name(), true
+	}
+	return "", false
+}
+
+// factKey addresses one (object, fact type) slot in the store.
+type factKey struct {
+	pkg string // package path
+	obj string // ObjKey
+	typ string // concrete fact type, e.g. "*lint.nondetFact"
+}
+
+// FactStore holds every fact exported during one analysis run, keyed by
+// stable object paths so facts survive the source-object/export-data
+// object split. One store is shared across all packages of a standalone
+// run; unitchecker mode fills a fresh store from the dependency vetx
+// files and serializes the analyzed package's slice back out.
+type FactStore struct {
+	mu sync.Mutex
+	m  map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+func factTypeName(f Fact) string { return reflect.TypeOf(f).String() }
+
+// export records fact for obj (resolved against pkgPath when the object
+// belongs to the package under analysis).
+func (s *FactStore) export(obj types.Object, fact Fact) error {
+	key, ok := ObjKey(obj)
+	if !ok {
+		return fmt.Errorf("analysis: object %v cannot carry facts", obj)
+	}
+	if reflect.TypeOf(fact).Kind() != reflect.Ptr {
+		return fmt.Errorf("analysis: fact %T must be a pointer type", fact)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[factKey{pkg: obj.Pkg().Path(), obj: key, typ: factTypeName(fact)}] = fact
+	return nil
+}
+
+// lookup fills dst (a pointer to a concrete fact struct) with the fact
+// of dst's type attached to obj, reporting whether one exists.
+func (s *FactStore) lookup(obj types.Object, dst Fact) bool {
+	key, ok := ObjKey(obj)
+	if !ok {
+		return false
+	}
+	s.mu.Lock()
+	got, ok := s.m[factKey{pkg: obj.Pkg().Path(), obj: key, typ: factTypeName(dst)}]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	dv := reflect.ValueOf(dst)
+	gv := reflect.ValueOf(got)
+	if dv.Type() != gv.Type() || dv.Kind() != reflect.Ptr {
+		return false
+	}
+	dv.Elem().Set(gv.Elem())
+	return true
+}
+
+// Bind wires a pass's fact hooks to this store. The driver calls it on
+// every pass it constructs; analyzers then use Pass.ExportObjectFact /
+// Pass.ImportObjectFact without knowing where facts live.
+func (s *FactStore) Bind(p *Pass) {
+	p.exportObjectFact = func(obj types.Object, f Fact) error { return s.export(obj, f) }
+	p.importObjectFact = func(obj types.Object, f Fact) bool { return s.lookup(obj, f) }
+}
+
+// factsMagic versions the serialized facts format; files that do not
+// start with it (for example the pre-facts "imclint: no facts" stub)
+// decode as an empty fact set rather than an error.
+const factsMagic = "imclint-facts/1\n"
+
+// savedFact is the serialized form of one exported fact.
+type savedFact struct {
+	Obj  string
+	Fact Fact
+}
+
+// EncodePackage serializes every fact exported on objects of pkgPath,
+// sorted by object key so the bytes are deterministic (go vet caches
+// vetx files by content).
+func (s *FactStore) EncodePackage(pkgPath string) ([]byte, error) {
+	s.mu.Lock()
+	var saved []savedFact
+	for k, f := range s.m {
+		if k.pkg == pkgPath {
+			saved = append(saved, savedFact{Obj: k.obj, Fact: f})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(saved, func(i, j int) bool {
+		if saved[i].Obj != saved[j].Obj {
+			return saved[i].Obj < saved[j].Obj
+		}
+		return factTypeName(saved[i].Fact) < factTypeName(saved[j].Fact)
+	})
+	var buf bytes.Buffer
+	buf.WriteString(factsMagic)
+	if err := gob.NewEncoder(&buf).Encode(saved); err != nil {
+		return nil, fmt.Errorf("analysis: encoding facts for %s: %v", pkgPath, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePackage merges a serialized fact set into the store under
+// pkgPath. Unrecognized formats (including the legacy no-facts stub)
+// are treated as empty, so mixed-version vetx caches stay readable.
+func (s *FactStore) DecodePackage(pkgPath string, data []byte) error {
+	if !bytes.HasPrefix(data, []byte(factsMagic)) {
+		return nil
+	}
+	var saved []savedFact
+	dec := gob.NewDecoder(bytes.NewReader(data[len(factsMagic):]))
+	if err := dec.Decode(&saved); err != nil {
+		return fmt.Errorf("analysis: decoding facts for %s: %v", pkgPath, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sf := range saved {
+		s.m[factKey{pkg: pkgPath, obj: sf.Obj, typ: factTypeName(sf.Fact)}] = sf.Fact
+	}
+	return nil
+}
+
+// PackagePaths returns the sorted set of package paths that own at
+// least one fact (used by round-trip tests).
+func (s *FactStore) PackagePaths() []string {
+	s.mu.Lock()
+	seen := make(map[string]bool)
+	for k := range s.m {
+		seen[k.pkg] = true
+	}
+	s.mu.Unlock()
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Equal reports whether two stores hold identical facts (compared by
+// their deterministic encodings); used to prove encode/decode fidelity.
+func (s *FactStore) Equal(o *FactStore) bool {
+	a, b := s.PackagePaths(), o.PackagePaths()
+	if strings.Join(a, "\x00") != strings.Join(b, "\x00") {
+		return false
+	}
+	for _, p := range a {
+		ea, err1 := s.EncodePackage(p)
+		eb, err2 := o.EncodePackage(p)
+		if err1 != nil || err2 != nil || !bytes.Equal(ea, eb) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// factsFixtureSrc declares one object of every fact-addressable kind.
+const factsFixtureSrc = `package p
+
+type T struct{}
+
+func (t T) M()   {}
+func (t *T) PM() {}
+
+func F()    {}
+var V int
+`
+
+type testFact struct{ Payload string }
+
+func (*testFact) AFact() {}
+
+func init() { RegisterFact(&testFact{}) }
+
+func checkFixture(t *testing.T) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", factsFixtureSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := (&types.Config{}).Check("example.com/p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func methodOf(t *testing.T, pkg *types.Package, recvPtr bool, name string) types.Object {
+	t.Helper()
+	tn := pkg.Scope().Lookup("T").(*types.TypeName)
+	typ := types.Type(tn.Type())
+	if recvPtr {
+		typ = types.NewPointer(typ)
+	}
+	ms := types.NewMethodSet(typ)
+	for i := 0; i < ms.Len(); i++ {
+		if m := ms.At(i).Obj(); m.Name() == name {
+			return m
+		}
+	}
+	t.Fatalf("method %s not found", name)
+	return nil
+}
+
+// TestObjKeyForms pins the stable key format: the same object loaded
+// from source and from export data must map to the same key, or facts
+// exported while analyzing a package would be invisible to importers.
+func TestObjKeyForms(t *testing.T) {
+	pkg := checkFixture(t)
+	cases := []struct {
+		obj  types.Object
+		want string
+	}{
+		{pkg.Scope().Lookup("F"), "func F"},
+		{pkg.Scope().Lookup("V"), "var V"},
+		{methodOf(t, pkg, false, "M"), "(T).M"},
+		{methodOf(t, pkg, true, "PM"), "(*T).PM"},
+	}
+	for _, c := range cases {
+		key, ok := ObjKey(c.obj)
+		if !ok || key != c.want {
+			t.Errorf("ObjKey(%v) = %q, %v; want %q, true", c.obj, key, ok, c.want)
+		}
+	}
+	if _, ok := ObjKey(nil); ok {
+		t.Error("ObjKey(nil) should not be addressable")
+	}
+}
+
+// TestFactsRoundTrip exports facts through a Pass, serializes the
+// package's slice, decodes it into a fresh store, and demands the two
+// stores be indistinguishable — the property the vetx facts files rely
+// on. Encoding must also be byte-deterministic: cmd/go content-hashes
+// the facts file into its build cache key.
+func TestFactsRoundTrip(t *testing.T) {
+	pkg := checkFixture(t)
+	store := NewFactStore()
+	pass := &Pass{Analyzer: &Analyzer{Name: "test"}}
+	store.Bind(pass)
+
+	objs := []types.Object{
+		pkg.Scope().Lookup("F"),
+		pkg.Scope().Lookup("V"),
+		methodOf(t, pkg, true, "PM"),
+	}
+	for i, obj := range objs {
+		if err := pass.ExportObjectFact(obj, &testFact{Payload: string(rune('a' + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var got testFact
+	if !pass.ImportObjectFact(pkg.Scope().Lookup("F"), &got) || got.Payload != "a" {
+		t.Fatalf("ImportObjectFact(F) = %+v, want payload %q", got, "a")
+	}
+	if pass.ImportObjectFact(methodOf(t, pkg, false, "M"), &got) {
+		t.Fatal("ImportObjectFact(M) found a fact that was never exported")
+	}
+
+	enc1, err := store.EncodePackage("example.com/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, _ := store.EncodePackage("example.com/p")
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("EncodePackage is not byte-deterministic")
+	}
+
+	decoded := NewFactStore()
+	if err := decoded.DecodePackage("example.com/p", enc1); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Equal(decoded) {
+		t.Fatal("decoded store differs from the original")
+	}
+	dpass := &Pass{Analyzer: &Analyzer{Name: "test"}}
+	decoded.Bind(dpass)
+	if !dpass.ImportObjectFact(pkg.Scope().Lookup("V"), &got) || got.Payload != "b" {
+		t.Fatalf("after round trip, fact on V = %+v, want payload %q", got, "b")
+	}
+}
+
+// TestDecodeToleratesLegacyStub: pre-facts imclint wrote a plain-text
+// stub as its vetx file; a warm go vet cache may still serve it, and it
+// must decode as "no facts", not an error.
+func TestDecodeToleratesLegacyStub(t *testing.T) {
+	store := NewFactStore()
+	if err := store.DecodePackage("example.com/p", []byte("imclint: no facts\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.PackagePaths(); len(got) != 0 {
+		t.Fatalf("legacy stub produced facts for %v", got)
+	}
+}
+
+// TestNilHooks: a Pass constructed by a fact-less driver must stay
+// runnable — exports vanish, imports miss.
+func TestNilHooks(t *testing.T) {
+	pkg := checkFixture(t)
+	pass := &Pass{Analyzer: &Analyzer{Name: "test"}}
+	if err := pass.ExportObjectFact(pkg.Scope().Lookup("F"), &testFact{Payload: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var got testFact
+	if pass.ImportObjectFact(pkg.Scope().Lookup("F"), &got) {
+		t.Fatal("nil-hook pass returned a fact")
+	}
+}

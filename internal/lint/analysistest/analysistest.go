@@ -13,6 +13,12 @@
 // internal/metrics, ...) and any stdlib package the module already
 // depends on; imports are resolved from one shared `go list -export`
 // universe built at the module root.
+//
+// Fixture packages may also import each other: list the dependency
+// before the dependent ("helperutil" before "staging/nondetflow") and
+// it is type-checked first, registered with the loader under its
+// fixture path, and its exported facts are visible downstream — the
+// cross-package taint scenario the nondetflow analyzer exists for.
 package analysistest
 
 import (
@@ -67,54 +73,96 @@ func moduleRoot() (string, error) {
 	}
 }
 
-// Run applies a to each fixture package (a path under testdata/src,
-// e.g. "staging/maprange") and reports mismatches through t.
+// Run applies one analyzer to each fixture package (a path under
+// testdata/src, e.g. "staging/maprange"), in order, and reports
+// mismatches through t. The analyzer's Facts phase runs on every listed
+// package against one shared store before diagnostics are checked, so
+// facts flow between fixtures exactly as between real packages.
 func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	run(t, []*analysis.Analyzer{a}, pkgpaths...)
+}
+
+// RunSuite applies a whole analyzer suite to the fixture packages and
+// checks wants against the union of every analyzer's findings. This is
+// what stalewaiver fixtures need: a waiver is only provably stale after
+// every analyzer that might have consumed it has run.
+func RunSuite(t *testing.T, analyzers []*analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	run(t, analyzers, pkgpaths...)
+}
+
+func run(t *testing.T, analyzers []*analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	ld, err := sharedLoader()
 	if err != nil {
 		t.Fatal(err)
 	}
+	store := analysis.NewFactStore()
+	names := strings.Join(analyzerNames(analyzers), ",")
 	for _, pkgpath := range pkgpaths {
 		dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgpath))
-		names, err := filepath.Glob(filepath.Join(dir, "*.go"))
-		if err != nil || len(names) == 0 {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil || len(files) == 0 {
 			t.Fatalf("analysistest: no fixture files in %s", dir)
 		}
-		sort.Strings(names)
-		pkg, err := ld.Check(pkgpath, dir, names)
+		sort.Strings(files)
+		pkg, err := ld.Check(pkgpath, dir, files)
 		if err != nil {
 			t.Fatalf("analysistest: %v", err)
 		}
-		wants, err := collectWants(names)
+		ld.Register(pkg) // later fixtures may import this one by its path
+		wants, err := collectWants(files)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var diags []analysis.Diagnostic
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		newPass := func(a *analysis.Analyzer) *analysis.Pass {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			store.Bind(pass)
+			return pass
 		}
-		if err := a.Run(pass); err != nil {
-			t.Fatalf("analysistest: %s on %s: %v", a.Name, pkgpath, err)
+		for _, a := range analyzers {
+			if a.Facts == nil {
+				continue
+			}
+			if err := a.Facts(newPass(a)); err != nil {
+				t.Fatalf("analysistest: %s facts on %s: %v", a.Name, pkgpath, err)
+			}
+		}
+		for _, a := range analyzers {
+			if err := a.Run(newPass(a)); err != nil {
+				t.Fatalf("analysistest: %s on %s: %v", a.Name, pkgpath, err)
+			}
 		}
 		diags = analysis.SortDiagnostics(pkg.Fset, diags)
 		for _, d := range diags {
 			p := pkg.Fset.Position(d.Pos)
 			if !consume(wants, p.Filename, p.Line, d.Message) {
-				t.Errorf("%s:%d: unexpected %s diagnostic: %s", p.Filename, p.Line, a.Name, d.Message)
+				t.Errorf("%s:%d: unexpected %s diagnostic: %s", p.Filename, p.Line, d.Analyzer, d.Message)
 			}
 		}
 		for _, w := range wants {
 			if !w.matched {
-				t.Errorf("%s:%d: no %s diagnostic matched %q", w.file, w.line, a.Name, w.re.String())
+				t.Errorf("%s:%d: no %s diagnostic matched %q", w.file, w.line, names, w.re.String())
 			}
 		}
 	}
+}
+
+func analyzerNames(analyzers []*analysis.Analyzer) []string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return names
 }
 
 type want struct {

@@ -52,9 +52,6 @@ func runEventOrder(pass *analysis.Pass) error {
 			if _, isMap := t.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if waived(pass, w, rs.Pos()) {
-				return true
-			}
 			ast.Inspect(rs.Body, func(m ast.Node) bool {
 				if _, ok := m.(*ast.FuncLit); ok {
 					// A literal only runs later, when something calls it;
@@ -80,7 +77,10 @@ func runEventOrder(pass *analysis.Pass) error {
 				if !isSimPackage(fn.Pkg()) || !schedulingMethods[fn.Name()] {
 					return true
 				}
-				if !waived(pass, w, call.Pos()) {
+				// Waivers attach to the call or to the range header, and
+				// are consulted only once a finding exists so a directive
+				// on an innocent loop registers as stale.
+				if !waived(pass, w, call.Pos()) && !waived(pass, w, rs.Pos()) {
 					pass.Reportf(call.Pos(), "%s.%s scheduled while ranging over a map: the event order follows map order; fire/release over a sorted key slice or waive with //imclint:deterministic -- reason", recvTypeName(sig), fn.Name())
 				}
 				return true

@@ -51,11 +51,18 @@ type Loader struct {
 	imp       types.Importer
 	goVersion string
 	targets   []listPackage
+	srcPkgs   map[string]*types.Package // source-checked packages registered for import
 }
 
 // New lists patterns (e.g. "./...") in dir with export data and returns
 // a loader whose importer can resolve every dependency of the listed
 // packages.
+//
+// Target order is significant: `go list -deps` emits packages in a
+// depth-first post-order traversal, i.e. every package appears after
+// all of its dependencies, and the loader preserves that order. Fact-
+// propagating drivers rely on it — by the time a package is analyzed,
+// facts for every dependency it imports have already been computed.
 func New(dir string, patterns ...string) (*Loader, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -106,6 +113,31 @@ func FromImporter(fset *token.FileSet, imp types.Importer, goVersion string) *Lo
 	return &Loader{fset: fset, imp: imp, goVersion: goVersion}
 }
 
+// Register makes an already source-checked package importable by its
+// import path in later Check calls. The analysistest harness uses it so
+// one fixture package can import another (fixture packages have no
+// compiler export data for the gc importer to find).
+func (ld *Loader) Register(pkg *Package) {
+	if ld.srcPkgs == nil {
+		ld.srcPkgs = make(map[string]*types.Package)
+	}
+	ld.srcPkgs[pkg.ImportPath] = pkg.Types
+}
+
+// chainImporter resolves registered source packages first, then falls
+// back to the loader's export-data importer.
+type chainImporter struct{ ld *Loader }
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.ld.srcPkgs[path]; ok {
+		return p, nil
+	}
+	if c.ld.imp == nil {
+		return nil, fmt.Errorf("lint/load: no importer for %q", path)
+	}
+	return c.ld.imp.Import(path)
+}
+
 func (ld *Loader) lookup(path string) (io.ReadCloser, error) {
 	f, ok := ld.exports[path]
 	if !ok {
@@ -153,7 +185,7 @@ func (ld *Loader) Check(importPath, dir string, filenames []string) (*Package, e
 	}
 	var typeErr error
 	conf := types.Config{
-		Importer:  ld.imp,
+		Importer:  chainImporter{ld},
 		GoVersion: ld.goVersion,
 		Error: func(err error) {
 			if typeErr == nil {

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -44,45 +45,69 @@ func runMapRange(pass *analysis.Pass) error {
 		// Walk per enclosing function so the sorted-collector rule can
 		// look for a sort call between the loop and the function's end.
 		eachFuncBody(f, func(body *ast.BlockStmt) {
-			ast.Inspect(body, func(n ast.Node) bool {
-				if _, ok := n.(*ast.FuncLit); ok {
-					return false // literals get their own eachFuncBody visit
+			for _, p := range mapRangeProblemsIn(pass, body) {
+				if !waived(pass, w, p.pos) {
+					pass.Reportf(p.pos, "%s", p.message)
 				}
-				rs, ok := n.(*ast.RangeStmt)
-				if !ok {
-					return true
-				}
-				t := pass.TypesInfo.TypeOf(rs.X)
-				if t == nil {
-					return true
-				}
-				if _, isMap := t.Underlying().(*types.Map); !isMap {
-					return true
-				}
-				if waived(pass, w, rs.Pos()) {
-					return true
-				}
-				c := &bodyClassifier{pass: pass}
-				if !c.benignBlock(rs.Body) {
-					pass.Reportf(rs.Pos(), "range over map has an order-dependent body (%s); iterate a sorted key slice or waive with //imclint:deterministic -- reason", c.why)
-					return true
-				}
-				for _, coll := range c.collectors {
-					if !sortedAfter(body, rs, coll) {
-						pass.Reportf(rs.Pos(), "slice %q collected from map range is never sorted before use; sort it (sort.*, slices.Sort*, sortKeys) or waive with //imclint:deterministic -- reason", coll.Name)
-					}
-				}
-				return true
-			})
+			}
 		})
 	}
 	return nil
 }
 
+// mapRangeProblem is one order-dependent map iteration, pre-waiver.
+type mapRangeProblem struct {
+	pos     token.Pos
+	message string
+}
+
+// mapRangeProblemsIn classifies every map range directly inside one
+// function body (function literals are skipped — they get their own
+// visit) and returns the order-dependent ones. Shared by maprange,
+// which reports them in output scope, and nondetflow, which treats them
+// as nondeterminism sources when computing cross-package taint facts.
+func mapRangeProblemsIn(pass *analysis.Pass, body *ast.BlockStmt) []mapRangeProblem {
+	var problems []mapRangeProblem
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals get their own eachFuncBody visit
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		c := &bodyClassifier{pass: pass}
+		if !c.benignBlock(rs.Body) {
+			problems = append(problems, mapRangeProblem{
+				pos:     rs.Pos(),
+				message: fmt.Sprintf("range over map has an order-dependent body (%s); iterate a sorted key slice or waive with //imclint:deterministic -- reason", c.why),
+			})
+			return true
+		}
+		for _, coll := range c.collectors {
+			if !sortedAfter(body, rs, coll) {
+				problems = append(problems, mapRangeProblem{
+					pos:     rs.Pos(),
+					message: fmt.Sprintf("slice %q collected from map range is never sorted before use; sort it (sort.*, slices.Sort*, sortKeys) or waive with //imclint:deterministic -- reason", coll.Name),
+				})
+			}
+		}
+		return true
+	})
+	return problems
+}
+
 // eachFuncBody invokes fn on the body of every function declaration and
-// function literal in f.
-func eachFuncBody(f *ast.File, fn func(*ast.BlockStmt)) {
-	ast.Inspect(f, func(n ast.Node) bool {
+// function literal under root.
+func eachFuncBody(root ast.Node, fn func(*ast.BlockStmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncDecl:
 			if n.Body != nil {

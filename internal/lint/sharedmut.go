@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/imcstudy/imcstudy/internal/lint/analysis"
+)
+
+// SharedMut flags unsynchronized writes, from inside `go func` closures,
+// to variables the closure captured by reference. Every simulation is
+// single-goroutine deterministic; goroutines exist only in the harness
+// layer (the chaos trial pool today, the parallel discrete-event
+// executor tomorrow), and the one way that layer can corrupt determinism
+// is a spawned goroutine scribbling on shared state — engine fields, a
+// shared slice header, an accumulator — without synchronization. The
+// race detector only catches the schedules a test happens to produce;
+// this analyzer rejects the pattern outright.
+//
+// Recognized synchronization discipline (no finding):
+//
+//   - writes to variables declared inside the closure (including its
+//     parameters — passing a value in is an explicit handoff),
+//   - writes lexically preceded, inside the closure, by a
+//     sync.Mutex/RWMutex Lock/RLock call (mutex discipline),
+//   - writes lexically preceded by a channel receive, including writes
+//     inside a `for x := range ch` loop (channel handshake discipline:
+//     receiving establishes the happens-before edge, as in the engine's
+//     wake/yield lockstep and the chaos worker pool),
+//   - element writes `s[i] = v` into a captured slice or array where
+//     every variable in the index expression is closure-local — the
+//     bounded-worker fan-out pattern, each goroutine owning disjoint
+//     indexes. Maps never qualify: concurrent map writes fault even on
+//     disjoint keys,
+//   - sync/atomic calls (calls, not assignments, so they never match),
+//   - an //imclint:deterministic waiver (with reason) on the write or on
+//     the `go` statement.
+var SharedMut = &analysis.Analyzer{
+	Name: "sharedmut",
+	Doc:  "flags unsynchronized writes to captured variables inside go-routine closures in modelled and harness packages",
+	Run:  runSharedMut,
+}
+
+func runSharedMut(pass *analysis.Pass) error {
+	if !inOutputScope(pass.Pkg.Path()) {
+		return nil
+	}
+	w := collectWaivers(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				checkGoClosure(pass, w, gs, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoClosure analyzes one `go func(){...}()` literal. Nested go
+// statements are skipped here; the outer file walk visits them with
+// their own (tighter) capture span.
+func checkGoClosure(pass *analysis.Pass, w *waivers, gs *ast.GoStmt, lit *ast.FuncLit) {
+	var lockPos, recvPos []token.Pos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+					(fn.Name() == "Lock" || fn.Name() == "RLock") {
+					lockPos = append(lockPos, n.Pos())
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				recvPos = append(recvPos, n.Pos())
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					recvPos = append(recvPos, n.Pos())
+				}
+			}
+		}
+		return true
+	})
+	anyBefore := func(ps []token.Pos, pos token.Pos) bool {
+		for _, p := range ps {
+			if p < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, w, gs, lit, lhs, lockPos, recvPos, anyBefore)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, w, gs, lit, n.X, lockPos, recvPos, anyBefore)
+		}
+		return true
+	})
+}
+
+// checkWrite classifies one assignment target inside the closure.
+func checkWrite(pass *analysis.Pass, w *waivers, gs *ast.GoStmt, lit *ast.FuncLit,
+	target ast.Expr, lockPos, recvPos []token.Pos, anyBefore func([]token.Pos, token.Pos) bool) {
+
+	root, hasIndex, mapIndexed, idxExprs := unwrapWriteTarget(pass, target)
+	if root == nil || root.Name == "_" {
+		return
+	}
+	if _, isDef := pass.TypesInfo.Defs[root]; isDef {
+		return // `x := ...` defines a closure-local
+	}
+	obj, ok := pass.TypesInfo.Uses[root].(*types.Var)
+	if !ok {
+		return
+	}
+	if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+		return // declared inside the closure (or one of its params)
+	}
+	pos := target.Pos()
+	if anyBefore(lockPos, pos) || anyBefore(recvPos, pos) {
+		return // mutex or channel-handshake discipline
+	}
+	if hasIndex && !mapIndexed && indexVarsLocal(pass, lit, idxExprs) {
+		return // disjoint slice-element fan-out
+	}
+	if waived(pass, w, pos) || waived(pass, w, gs.Pos()) {
+		return
+	}
+	what := "variable"
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		what = "package-level variable"
+	}
+	pass.Reportf(pos, "goroutine closure writes to captured %s %q without synchronization: shared mutation from spawned goroutines races and breaks byte-identical reruns; guard it with a mutex, use sync/atomic, hand results over a channel (or per-goroutine slice slots), or waive with //imclint:deterministic -- reason", what, root.Name)
+}
+
+// unwrapWriteTarget peels selectors, stars, parens and indexes off a
+// write target down to its root identifier, noting whether the path
+// went through an index expression and whether any indexed container is
+// a map (concurrent map writes are never safe).
+func unwrapWriteTarget(pass *analysis.Pass, e ast.Expr) (root *ast.Ident, hasIndex, mapIndexed bool, idxExprs []ast.Expr) {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t, hasIndex, mapIndexed, idxExprs
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			hasIndex = true
+			idxExprs = append(idxExprs, t.Index)
+			if xt := pass.TypesInfo.TypeOf(t.X); xt != nil {
+				if _, isMap := xt.Underlying().(*types.Map); isMap {
+					mapIndexed = true
+				}
+			}
+			e = t.X
+		default:
+			return nil, hasIndex, mapIndexed, idxExprs
+		}
+	}
+}
+
+// indexVarsLocal reports whether every variable mentioned in the index
+// expressions is declared inside the closure — the property that makes
+// per-element writes disjoint across pool workers.
+func indexVarsLocal(pass *analysis.Pass, lit *ast.FuncLit, idxExprs []ast.Expr) bool {
+	local := true
+	for _, idx := range idxExprs {
+		ast.Inspect(idx, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true // constants, functions, types: order-free
+			}
+			if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+				local = false
+				return false
+			}
+			return true
+		})
+		if !local {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+// Package sharedmut exercises the goroutine shared-mutation analyzer
+// ("chaos" puts it in scope). Positive cases are the races that would
+// break byte-identical reruns; negative cases are the synchronization
+// disciplines the harness layer actually uses — mutexes, channel
+// handshakes, disjoint slice slots — which must stay finding-free.
+package sharedmut
+
+import "sync"
+
+func racyCounter() int {
+	n := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n++ // want `captured variable "n" without synchronization`
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+type engine struct{ ticks int }
+
+func racyEngine(e *engine) {
+	go func() {
+		e.ticks = 1 // want `captured variable "e" without synchronization`
+	}()
+}
+
+var total int
+
+func racyGlobal() {
+	go func() {
+		total = 1 // want `captured package-level variable "total" without synchronization`
+	}()
+}
+
+func racyMap(m map[int]int) {
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m[i] = i // want `captured variable "m" without synchronization`
+		}(w)
+	}
+	wg.Wait()
+}
+
+func lockedCounter() int {
+	n := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			n++ // clean: lock held
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+func channelWorker(jobs <-chan int) int {
+	totalJobs := 0
+	done := make(chan struct{})
+	go func() {
+		for j := range jobs {
+			totalJobs += j // clean: single consumer behind a channel receive
+		}
+		close(done)
+	}()
+	<-done
+	return totalJobs
+}
+
+func fanOut(out []int) {
+	var wg sync.WaitGroup
+	for w := 0; w < len(out); w++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i // clean: disjoint slot, index is closure-local
+		}(w)
+	}
+	wg.Wait()
+}
+
+func localOnly(out chan<- int) {
+	go func() {
+		acc := 0
+		for i := 0; i < 3; i++ {
+			acc += i // clean: closure-local accumulator
+		}
+		out <- acc
+	}()
+}
+
+func waivedWrite(flag *bool) {
+	//imclint:deterministic -- fixture: single goroutine, joined by the caller before the flag is read
+	go func() {
+		*flag = true
+	}()
+}

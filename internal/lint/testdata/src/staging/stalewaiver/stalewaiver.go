@@ -1,0 +1,24 @@
+// Package stalewaiver exercises stale-directive detection (via the
+// whole suite: a waiver is only provably stale after every analyzer
+// that might consume it has run). One directive still suppresses a real
+// maprange finding; the other was left behind on a loop that stopped
+// being dangerous — the exact debt the analyzer exists to collect.
+package stalewaiver
+
+func consumed(m map[string]int) string {
+	out := ""
+	//imclint:deterministic -- fixture: stand-in for a reviewed order-insensitive accumulation
+	for k := range m {
+		out += k
+	}
+	return out
+}
+
+func orphaned(xs []int) int {
+	total := 0
+	//imclint:deterministic -- fixture: left behind after a map walk became a slice walk // want `stale imclint:deterministic waiver`
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzWaiverParse hardens the waiver-directive parser: the directive is
+// the suite's only escape hatch, so a comment that parses differently
+// than a reviewer reads it would silently disable (or fail to disable)
+// a determinism gate.
+func FuzzWaiverParse(f *testing.F) {
+	f.Add("//imclint:deterministic -- emission order is cosmetic")
+	f.Add("// imclint:deterministic")
+	f.Add("//imclint:deterministic— em dash reason")
+	f.Add("//imclint:deterministic: colon reason")
+	f.Add("//imclint:deterministic\t--\ttabs")
+	f.Add("// not a waiver at all")
+	f.Add("//imclint:deterministi")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		reason, ok := parseWaiverComment(text)
+		if !ok {
+			if reason != "" {
+				t.Fatalf("parseWaiverComment(%q): not a waiver but reason %q", text, reason)
+			}
+			return
+		}
+		if !strings.Contains(text, waiverMarker) {
+			t.Fatalf("parseWaiverComment(%q) accepted a comment without the %q marker", text, waiverMarker)
+		}
+		if reason != strings.TrimSpace(reason) {
+			t.Fatalf("parseWaiverComment(%q): reason %q not space-trimmed", text, reason)
+		}
+		// Re-emitting the canonical form a reviewer would write must
+		// parse back to the same reason, modulo the separator runes the
+		// parser strips from the reason's own front.
+		again, ok2 := parseWaiverComment("//" + waiverMarker + " -- " + reason)
+		if !ok2 {
+			t.Fatalf("canonical directive for reason %q did not parse", reason)
+		}
+		canon := strings.TrimSpace(strings.TrimLeft(reason, " \t-—:"))
+		if again != canon {
+			t.Fatalf("round-trip of reason %q: got %q, want %q", reason, again, canon)
+		}
+	})
+}
